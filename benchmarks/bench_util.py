@@ -1,0 +1,37 @@
+"""Shared utilities for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation.  Results are printed (visible with ``pytest -s``) and also
+written to ``benchmarks/results/<name>.txt`` so the artifacts persist
+regardless of output capturing.
+
+Heavy experiments run exactly once per benchmark via
+``benchmark.pedantic(..., rounds=1)``; pytest-benchmark's own timing
+then reflects one full experiment run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Project preset used by the default benchmark configuration.  The
+#: experiments scale to "large"/"xlarge" by editing this (documented in
+#: EXPERIMENTS.md); "small"/"medium" keep the suite runnable in minutes.
+DEFAULT_PRESET = "small"
+MEDIUM_PRESET = "medium"
+DEFAULT_SEED = 1
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}", file=sys.stderr)
+
+
+def run_once(benchmark, fn):
+    """Run a whole experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

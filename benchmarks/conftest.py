@@ -1,0 +1,7 @@
+"""Benchmark suite configuration."""
+
+import sys
+from pathlib import Path
+
+# Make bench_util importable regardless of how pytest was invoked.
+sys.path.insert(0, str(Path(__file__).parent))

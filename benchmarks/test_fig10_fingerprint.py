@@ -1,0 +1,34 @@
+"""Figure 10 — ablation: fingerprint definition.
+
+Both fingerprint modes are safe (bypass only on exact hash match), but
+the canonical (name-insensitive) mode survives more churn than hashing
+the printed text verbatim, so it bypasses at least as much.
+"""
+
+from bench_util import DEFAULT_SEED, MEDIUM_PRESET, publish, run_once
+
+from repro.bench.sweeps import fingerprint_ablation
+from repro.bench.tables import format_table
+
+
+def test_fig10_fingerprint_ablation(benchmark):
+    summary = run_once(
+        benchmark,
+        lambda: fingerprint_ablation(MEDIUM_PRESET, num_edits=6, seed=DEFAULT_SEED),
+    )
+    table = format_table(
+        ["fingerprint", "incremental s", "pass work", "bypassed"],
+        [
+            [name, f"{s.total_time:.3f}", s.total_work, f"{s.bypass_ratio:.0%}"]
+            for name, s in summary.items()
+        ],
+        title="Figure 10: fingerprint-mode ablation (canonical vs named)",
+    )
+    publish("fig10_fingerprint", table)
+
+    canonical = summary["canonical"]
+    named = summary["named"]
+    assert canonical.bypass_ratio >= named.bypass_ratio
+    assert canonical.total_work <= named.total_work
+    # Both modes still bypass a substantial share of pass runs.
+    assert named.bypass_ratio > 0.2

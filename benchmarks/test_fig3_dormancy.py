@@ -1,0 +1,44 @@
+"""Figure 3 — dormancy motivation.
+
+The paper's premise: even on a clean build, a large fraction of
+(function, pass) executions are dormant — the pass runs its analysis
+and changes nothing.  This regenerates the per-pass dormancy profile.
+"""
+
+from bench_util import DEFAULT_SEED, MEDIUM_PRESET, publish, run_once
+
+from repro.bench.dormancy import clean_build_dormancy
+from repro.bench.tables import format_table
+
+
+def test_fig3_clean_build_dormancy(benchmark):
+    rows = run_once(
+        benchmark, lambda: clean_build_dormancy(MEDIUM_PRESET, seed=DEFAULT_SEED)
+    )
+    table = format_table(
+        ["position", "pass", "executions", "dormant", "dormancy"],
+        [
+            [r.position, r.pass_name, r.executions, r.dormant, f"{r.ratio:.0%}"]
+            for r in rows
+        ],
+        title="Figure 3: dormant pass executions on a clean build (per pipeline position)",
+    )
+    total_exec = sum(r.executions for r in rows)
+    total_dormant = sum(r.dormant for r in rows)
+    overall = total_dormant / total_exec
+    table += f"\noverall dormancy: {total_dormant}/{total_exec} = {overall:.1%}"
+    publish("fig3_dormancy", table)
+
+    # Shape assertions: the majority of executions are dormant (the
+    # paper's motivating observation), and analysis-style passes
+    # (cvp/jumpthreading/adce) are almost always dormant.
+    assert overall > 0.5
+    by_name = {}
+    for r in rows:
+        executed, dormant = by_name.get(r.pass_name, (0, 0))
+        by_name[r.pass_name] = (executed + r.executions, dormant + r.dormant)
+    for name in ("cvp", "jumpthreading"):
+        executed, dormant = by_name[name]
+        assert dormant / executed > 0.8, f"{name} unexpectedly active"
+    executed, dormant = by_name["adce"]
+    assert dormant / executed > 0.4, "adce unexpectedly active"

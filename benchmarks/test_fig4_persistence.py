@@ -1,0 +1,33 @@
+"""Figure 4 — dormancy persistence across builds.
+
+For the state to pay off, a pass dormant in build *i* must usually be
+dormant again in build *i+1*.  Measured with the stateless compiler so
+every pass actually runs in every build.
+"""
+
+from bench_util import DEFAULT_PRESET, DEFAULT_SEED, publish, run_once
+
+from repro.bench.dormancy import dormancy_persistence
+from repro.bench.tables import format_table
+
+
+def test_fig4_dormancy_persistence(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: dormancy_persistence(DEFAULT_PRESET, num_edits=8, seed=DEFAULT_SEED),
+    )
+    rows = [
+        [i + 1, still, prev, f"{still / prev:.1%}" if prev else "n/a"]
+        for i, (still, prev) in enumerate(result.per_step)
+    ]
+    table = format_table(
+        ["edit step", "still dormant", "was dormant", "persistence"],
+        rows,
+        title="Figure 4: build-to-build dormancy persistence over an edit trace",
+    )
+    table += f"\noverall persistence: {result.overall:.1%}"
+    publish("fig4_persistence", table)
+
+    # Shape: dormancy is sticky — the overwhelming majority of dormant
+    # (function, position) pairs stay dormant across a typical edit.
+    assert result.overall > 0.9

@@ -1,0 +1,41 @@
+"""Figure 7 — speedup vs edit size.
+
+Rebuild time after editing k functions at once, k ∈ {1..32}.  The
+stateful win shrinks as the edit grows (fewer dormant records apply),
+converging toward the stateless compiler for whole-project rewrites.
+"""
+
+from bench_util import DEFAULT_SEED, MEDIUM_PRESET, publish, run_once
+
+from repro.bench.sweeps import edit_size_sweep
+from repro.bench.tables import format_table
+
+SIZES = [1, 2, 4, 8, 16, 32]
+
+
+def test_fig7_edit_size_sweep(benchmark):
+    points = run_once(
+        benchmark,
+        lambda: edit_size_sweep(MEDIUM_PRESET, sizes=SIZES, seed=DEFAULT_SEED),
+    )
+    table = format_table(
+        ["edited", "stateless s", "stateful s", "time speedup", "work speedup", "bypassed"],
+        [
+            [
+                p.label,
+                f"{p.stateless_time:.3f}",
+                f"{p.stateful_time:.3f}",
+                f"{p.time_speedup:.3f}x",
+                f"{p.work_speedup:.3f}x",
+                f"{p.bypass_ratio:.0%}",
+            ]
+            for p in points
+        ],
+        title="Figure 7: rebuild speedup vs number of edited functions",
+    )
+    publish("fig7_editsize", table)
+
+    # Shape: work savings positive everywhere and (weakly) decreasing in
+    # edit size at the extremes — small edits bypass more than huge ones.
+    assert all(p.work_speedup >= 1.0 for p in points)
+    assert points[0].bypass_ratio >= points[-1].bypass_ratio

@@ -1,0 +1,48 @@
+"""Figure 8 — per-pass compile-effort breakdown.
+
+After one representative body edit, where does the stateful compiler
+save?  Expensive analysis passes that are usually dormant (cvp,
+jumpthreading, adce, licm, gvn) shed most of their work; passes that
+always transform freshly lowered IR (mem2reg) save nothing.
+"""
+
+from bench_util import DEFAULT_SEED, MEDIUM_PRESET, publish, run_once
+
+from repro.bench.breakdown import pass_breakdown
+from repro.bench.tables import format_table
+
+
+def test_fig8_pass_breakdown(benchmark):
+    rows = run_once(
+        benchmark, lambda: pass_breakdown(MEDIUM_PRESET, seed=DEFAULT_SEED)
+    )
+    table = format_table(
+        ["pass", "stateless runs", "stateful runs", "bypassed", "sl work", "sf work", "saved"],
+        [
+            [
+                r.pass_name,
+                r.stateless_executed,
+                r.stateful_executed,
+                r.stateful_bypassed,
+                r.stateless_work,
+                r.stateful_work,
+                f"{r.work_saved_ratio:.0%}",
+            ]
+            for r in rows
+        ],
+        title="Figure 8: per-pass work on the rebuild after one body edit",
+    )
+    publish("fig8_breakdown", table)
+
+    by_name = {r.pass_name: r for r in rows}
+    # Shape: total work shrinks; the usually-dormant analysis passes
+    # save a large fraction; nothing costs more under statefulness.
+    total_saved = sum(r.stateless_work - r.stateful_work for r in rows)
+    assert total_saved > 0
+    assert all(r.stateful_work <= r.stateless_work for r in rows)
+    assert by_name["cvp"].work_saved_ratio > 0.5
+    assert by_name["gvn"].work_saved_ratio > 0.5
+    # ADCE still runs its full mark phase on the functions it cannot skip,
+    # so its saving is real but smaller.
+    assert by_name["adce"].work_saved_ratio > 0.25
+    assert by_name["mem2reg"].work_saved_ratio == 0.0  # never dormant on fresh IR

@@ -1,0 +1,84 @@
+"""Table 2 / Figure 6 — the headline result.
+
+End-to-end incremental build time, stateless vs stateful compiler,
+over an edit trace per project.  The paper reports an average 6.72%
+end-to-end speedup; the shape to reproduce is a consistent single-digit
+win for the stateful compiler (larger on comment/header-heavy traces,
+smaller on body-edit-heavy ones), with byte-identical outputs.
+"""
+
+from bench_util import DEFAULT_SEED, publish, run_once
+
+from repro.bench.endtoend import default_variants, run_edit_trace
+from repro.bench.tables import format_table, geometric_mean
+
+PRESETS = ["small", "medium"]
+NUM_EDITS = 8
+#: Whole-trace repetitions; per-variant minimum totals suppress
+#: Python wall-clock jitter (the work metric needs no repetition —
+#: it is deterministic).
+REPEATS = 3
+
+
+def run_experiment():
+    results = {}
+    for preset in PRESETS:
+        runs = [
+            run_edit_trace(
+                preset, default_variants(), num_edits=NUM_EDITS, seed=DEFAULT_SEED
+            )
+            for _ in range(REPEATS)
+        ]
+        results[preset] = runs
+    return results
+
+
+def test_table2_endtoend_speedup(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    rows = []
+    speedups = []
+    work_speedups = []
+    for preset, runs in results.items():
+        stateless_time = min(r["stateless"].total_incremental_time for r in runs)
+        stateful_time = min(r["stateful"].total_incremental_time for r in runs)
+        stateless, stateful = runs[0]["stateless"], runs[0]["stateful"]
+        time_speedup = stateless_time / stateful_time
+        work_speedup = (
+            stateless.total_incremental_work / stateful.total_incremental_work
+            if stateful.total_incremental_work
+            else float("inf")
+        )
+        speedups.append(time_speedup)
+        work_speedups.append(work_speedup)
+        rows.append(
+            [
+                preset,
+                f"{stateless_time:.3f}",
+                f"{stateful_time:.3f}",
+                f"{(time_speedup - 1) * 100:+.1f}%",
+                f"{(work_speedup - 1) * 100:+.1f}%",
+                f"{stateful.mean_bypass_ratio:.0%}",
+            ]
+        )
+    mean_speedup = geometric_mean(speedups)
+    table = format_table(
+        ["project", "stateless s", "stateful s", "time speedup", "work speedup", "bypassed"],
+        rows,
+        title=f"Table 2: end-to-end incremental builds over {NUM_EDITS}-edit traces",
+    )
+    table += (
+        f"\ngeomean end-to-end speedup: {(mean_speedup - 1) * 100:+.2f}%"
+        f"   (paper: +6.72% on Clang/C++)"
+    )
+    publish("table2_endtoend", table)
+
+    # Shape assertions: stateful wins on the deterministic work metric on
+    # every project, and on wall-clock in aggregate (with a small noise
+    # allowance on the aggregate — Python wall time jitters a few %;
+    # at least one project must show a clear win).
+    assert all(w > 1.0 for w in work_speedups)
+    assert mean_speedup > 0.97, f"stateful clearly slower end-to-end: {mean_speedup}"
+    assert max(speedups) > 1.02, f"no project shows a clear win: {speedups}"
+    # Win is modest (fine-grained bypassing, not magic): < 40%.
+    assert mean_speedup < 1.4

@@ -1,0 +1,45 @@
+"""Table 4 — correctness: the stateful compiler must be invisible.
+
+Across edit traces, every object file produced with bypassing enabled
+must be byte-identical to the stateless compiler's, and the linked
+programs must behave identically.  Any mismatch is a safety violation
+of the bypass mechanism.
+"""
+
+from bench_util import DEFAULT_SEED, publish, run_once
+
+from repro.bench.correctness import correctness_check
+from repro.bench.tables import format_table
+
+PRESETS = ["tiny", "small", "medium"]
+NUM_EDITS = 6
+
+
+def test_table4_output_equivalence(benchmark):
+    def experiment():
+        return [
+            correctness_check(preset, num_edits=NUM_EDITS, seed=DEFAULT_SEED)
+            for preset in PRESETS
+        ]
+
+    results = run_once(benchmark, experiment)
+    table = format_table(
+        ["project", "builds", "objects compared", "object mismatches", "behaviour mismatches", "verdict"],
+        [
+            [
+                r.preset,
+                r.builds_checked,
+                r.objects_compared,
+                len(r.object_mismatches),
+                len(r.behaviour_mismatches),
+                "PASS" if r.passed else "FAIL",
+            ]
+            for r in results
+        ],
+        title=f"Table 4: stateless-vs-stateful output equivalence over {NUM_EDITS}-edit traces",
+    )
+    publish("table4_correctness", table)
+
+    for r in results:
+        assert r.passed, (r.preset, r.object_mismatches, r.behaviour_mismatches)
+        assert r.objects_compared > 0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Tooling tour: inspect IR, fingerprints, and dormancy records.
+
+Shows the library's compiler-internals API — the pieces a downstream
+tool (IDE plugin, build analyzer, research harness) would use:
+
+- lower a function and print its IR before/after each pipeline stage;
+- watch the fingerprint evolve (and stop evolving once passes go
+  dormant);
+- dump the dormancy records the stateful compiler persists.
+
+Run:  python examples/inspect_pipeline.py
+"""
+
+from repro.core.state import CompilerState, pipeline_signature_of
+from repro.core.stateful import StatefulPassManager
+from repro.frontend.includes import IncludeResolver, MemoryFileProvider
+from repro.frontend.sema import analyze
+from repro.ir import fingerprint_function, print_function
+from repro.lowering import lower_program
+from repro.passmanager import build_pipeline
+
+SOURCE = """
+int dot3(int a[], int b[]) {
+  int acc = 0;
+  for (int i = 0; i < 3; ++i) acc += a[i] * b[i];
+  return acc;
+}
+"""
+
+
+def lower():
+    resolver = IncludeResolver(MemoryFileProvider({}))
+    unit = resolver.resolve("dot.mc", SOURCE)
+    sema = analyze(unit.merged)
+    return lower_program(unit.merged, sema, "dot.mc")
+
+
+def main() -> None:
+    module = lower()
+    fn = module.functions["dot3"]
+    print("== IR as lowered (Clang -O0 style: allocas everywhere) ==")
+    print(print_function(fn))
+    print()
+
+    pipeline = build_pipeline("O2")
+    print(f"== running {pipeline.name}: {len(pipeline.function_passes)} function passes ==")
+    fp = fingerprint_function(fn)
+    print(f"{'entry':<16} fingerprint {fp}  ({fn.num_instructions} insts)")
+    for position, function_pass in enumerate(pipeline.function_passes):
+        stats = function_pass.run_on_function(fn, module)
+        new_fp = fingerprint_function(fn)
+        marker = "CHANGED" if stats.changed else "dormant"
+        arrow = f"-> {new_fp}" if new_fp != fp else "(unchanged)"
+        print(f"{position:>2} {function_pass.name:<14} {marker}  {arrow}  "
+              f"({fn.num_instructions} insts)")
+        fp = new_fp
+    print()
+
+    print("== optimized IR ==")
+    print(print_function(fn))
+    print()
+
+    print("== dormancy records a stateful build would persist ==")
+    state = CompilerState(
+        pipeline_signature=pipeline_signature_of(pipeline), fingerprint_mode="canonical"
+    )
+    state.begin_build()
+    module2 = lower()
+    manager = StatefulPassManager(build_pipeline("O2"), state)
+    manager.run(module2)
+    dormant = sum(1 for r in state.records.values() if r.dormant)
+    print(f"{state.num_records} records ({dormant} dormant); sample:")
+    for (position, fingerprint), record in list(sorted(state.records.items()))[:6]:
+        kind = "dormant" if record.dormant else "changed"
+        print(f"  position {position:>2}  {fingerprint[:12]}…  {kind}")
+    print()
+    print("A rebuild of unchanged source now skips every dormant record —")
+    print("run examples/editloop.py to see that end to end.")
+
+
+if __name__ == "__main__":
+    main()

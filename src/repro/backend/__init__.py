@@ -1,0 +1,34 @@
+"""Backend: IR -> register-machine object code.
+
+Pipeline per function:
+
+1. :mod:`repro.backend.isel` — instruction selection to machine IR
+   (MIR) over unlimited virtual registers; phis become parallel copies
+   on (split) edges.
+2. :mod:`repro.backend.regalloc` — linear-scan register allocation onto
+   16 physical registers with frame-slot spilling.
+3. :mod:`repro.backend.peephole` — local cleanups on allocated code.
+4. :mod:`repro.backend.objfile` — serializable object files;
+   :mod:`repro.backend.linker` resolves symbols into an executable
+   image run by :class:`repro.vm.machine.VirtualMachine`.
+"""
+
+from repro.backend.isel import select_function, select_module
+from repro.backend.linker import LinkedImage, LinkError, link
+from repro.backend.mir import MachineFunction, MInst, MOp
+from repro.backend.objfile import ObjectFile, compile_module_to_object
+from repro.backend.regalloc import allocate_function
+
+__all__ = [
+    "select_function",
+    "select_module",
+    "LinkedImage",
+    "LinkError",
+    "link",
+    "MachineFunction",
+    "MInst",
+    "MOp",
+    "ObjectFile",
+    "compile_module_to_object",
+    "allocate_function",
+]

@@ -1,0 +1,69 @@
+"""Disassembler for object files and linked images.
+
+``reproc-objdump``-style tooling: renders machine code with resolved
+symbols, frame layouts, and data-section contents — the debugging view
+a backend developer works from.
+"""
+
+from __future__ import annotations
+
+from repro.backend.linker import LinkedImage
+from repro.backend.mir import MInst, MOp
+from repro.backend.objfile import ObjectFile
+
+
+def disassemble_object(obj: ObjectFile) -> str:
+    """Human-readable listing of one object file."""
+    lines = [f"object {obj.module_name}"]
+    if obj.globals:
+        lines.append("data:")
+        for name in sorted(obj.globals):
+            g = obj.globals[name]
+            if g.external:
+                lines.append(f"  extern @{name} ({g.size} slots)")
+            else:
+                init = ", ".join(str(v) for v in g.init[:8])
+                suffix = ", ..." if len(g.init) > 8 else ""
+                lines.append(f"  @{name} ({g.size} slots) = [{init}{suffix}]")
+    for name in sorted(obj.functions):
+        mf = obj.functions[name]
+        lines.append("")
+        lines.append(mf.render())
+    return "\n".join(lines)
+
+
+def disassemble_image(image: LinkedImage) -> str:
+    """Listing of a linked image with absolute addresses.
+
+    Function entries are annotated, and branch targets are shown as
+    absolute instruction indices (what the VM's pc uses).
+    """
+    entry_names: dict[int, str] = {
+        fn.entry: fn.name for fn in image.functions.values()
+    }
+    lines = [
+        f"image: {len(image.code)} instructions, "
+        f"{len(image.data)} data slots, {len(image.functions)} functions"
+    ]
+    if image.global_base:
+        lines.append("data layout:")
+        for name in sorted(image.global_base, key=image.global_base.__getitem__):
+            lines.append(f"  [{image.global_base[name]:>5}] @{name}")
+    lines.append("code:")
+    for index, inst in enumerate(image.code):
+        if index in entry_names:
+            fn = image.functions[entry_names[index]]
+            lines.append(
+                f"@{fn.name}: (params={fn.num_params}, frame={fn.frame_size})"
+            )
+        lines.append(f"  {index:>5}: {_render_resolved(inst)}")
+    return "\n".join(lines)
+
+
+def _render_resolved(inst: MInst) -> str:
+    """Render one image instruction (branch targets are indices)."""
+    if inst.op is MOp.BR:
+        return f"br -> {inst.imm}"
+    if inst.op is MOp.CBR:
+        return f"cbr r{inst.regs[0]} -> {inst.imm} else {inst.regs[1]}"
+    return inst.render()

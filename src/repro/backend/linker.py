@@ -1,0 +1,127 @@
+"""Linker: object files -> one executable image.
+
+Resolves symbols across objects (duplicate definitions and unresolved
+references are errors), lays out global storage, concatenates function
+code, and resolves branch labels and callees to absolute instruction
+indices.  The result runs on :class:`repro.vm.machine.VirtualMachine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.mir import MInst, MOp
+from repro.backend.objfile import ObjectFile
+
+#: Builtins the VM provides; calls to these stay symbolic.
+BUILTIN_SYMBOLS = {"print", "input", "__trap_unreachable"}
+
+
+class LinkError(Exception):
+    """Symbol resolution failed."""
+
+
+@dataclass
+class LinkedFunction:
+    name: str
+    entry: int
+    num_params: int
+    frame_size: int
+
+
+@dataclass
+class LinkedImage:
+    """An executable: resolved code plus data layout.
+
+    ``code`` contains no LABEL pseudo-instructions; BR/CBR hold absolute
+    indices in ``imm`` (CBR packs them via ``extra`` = "t f" pre-resolve
+    and ``imm``/``regs`` post-resolve — see ``_resolve``).  CALL keeps
+    the callee name in ``extra`` (the VM looks it up in ``functions``),
+    which keeps builtin dispatch uniform.
+    """
+
+    code: list[MInst] = field(default_factory=list)
+    functions: dict[str, LinkedFunction] = field(default_factory=dict)
+    global_base: dict[str, int] = field(default_factory=dict)
+    data: list[int] = field(default_factory=list)
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.code)
+
+
+def link(objects: list[ObjectFile], *, entry: str = "main") -> LinkedImage:
+    """Link objects into an image; requires ``entry`` to be defined."""
+    image = LinkedImage()
+
+    # -- pass 1: define symbols ------------------------------------------
+    for obj in objects:
+        for g in obj.globals.values():
+            if g.external:
+                continue
+            if g.name in image.global_base:
+                raise LinkError(f"duplicate definition of global @{g.name}")
+            image.global_base[g.name] = len(image.data)
+            image.data.extend(g.init if g.init else [0] * g.size)
+        for mf in obj.functions.values():
+            if mf.name in image.functions:
+                raise LinkError(f"duplicate definition of function @{mf.name}")
+            image.functions[mf.name] = LinkedFunction(
+                mf.name, entry=-1, num_params=mf.num_params, frame_size=mf.frame_size
+            )
+
+    # -- pass 2: check references ------------------------------------------
+    for obj in objects:
+        for g in obj.globals.values():
+            if g.external and g.name not in image.global_base:
+                raise LinkError(
+                    f"unresolved external global @{g.name} (from {obj.module_name})"
+                )
+        for mf in obj.functions.values():
+            for inst in mf.code:
+                if inst.op is MOp.CALL:
+                    callee = inst.extra
+                    if callee not in image.functions and callee not in BUILTIN_SYMBOLS:
+                        raise LinkError(
+                            f"unresolved function @{callee} called from @{mf.name}"
+                        )
+                elif inst.op is MOp.LEA and inst.extra not in image.global_base:
+                    raise LinkError(
+                        f"unresolved global @{inst.extra} referenced from @{mf.name}"
+                    )
+    if entry not in image.functions:
+        raise LinkError(f"entry point @{entry} is not defined")
+
+    # -- pass 3: lay out code and resolve labels ------------------------------
+    label_at: dict[str, int] = {}
+    layout: list[MInst] = []
+    for obj in objects:
+        for name in sorted(obj.functions):
+            mf = obj.functions[name]
+            image.functions[name].entry = len(layout)
+            for inst in mf.code:
+                if inst.op is MOp.LABEL:
+                    label_at[inst.extra] = len(layout)
+                else:
+                    layout.append(inst)
+            # A function must not fall off its end into the next one; the
+            # peephole guarantees the last instruction is a ret/br.
+            if layout and layout[-1].op not in (MOp.RET, MOp.BR, MOp.CBR):
+                raise LinkError(f"@{name} does not end in a terminator")
+
+    image.code = [_resolve(inst, label_at) for inst in layout]
+    return image
+
+
+def _resolve(inst: MInst, label_at: dict[str, int]) -> MInst:
+    if inst.op is MOp.BR:
+        return MInst(MOp.BR, [], imm=label_at[inst.extra])
+    if inst.op is MOp.CBR:
+        true_label, false_label = inst.extra.split()
+        # Pack targets: imm = true, regs[1] slot reused for false target.
+        return MInst(
+            MOp.CBR,
+            [inst.regs[0], label_at[false_label]],
+            imm=label_at[true_label],
+        )
+    return inst

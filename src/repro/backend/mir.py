@@ -1,0 +1,128 @@
+"""Machine IR (MIR): the register-machine instruction set.
+
+A simple load/store register machine:
+
+- unlimited *virtual* registers before allocation (``v0, v1, ...``),
+  16 *physical* registers after (``r0..r15``);
+- a per-call frame holding spill slots and ``alloca`` storage;
+- branch targets are symbolic labels, resolved to instruction indices
+  when an object file is emitted.
+
+Operands are integers with a tag; instructions are flat records so the
+object format stays trivially serializable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MOp(enum.Enum):
+    """Machine opcodes."""
+
+    LI = "li"        # li rd, imm
+    MV = "mv"        # mv rd, rs
+    ADD = "add"      # add rd, rs1, rs2  (likewise all binaries)
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    SHL = "shl"
+    SHR = "shr"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    CMP = "cmp"      # cmp.pred rd, rs1, rs2   (pred in .extra)
+    SEL = "sel"      # sel rd, rc, rs1, rs2
+    LD = "ld"        # ld rd, raddr
+    ST = "st"        # st rval, raddr
+    LEA = "lea"      # lea rd, @symbol         (symbol in .extra)
+    FRAME = "frame"  # frame rd, offset        (rd = frame base + offset)
+    ARG = "arg"      # arg rs                  (queue a call argument)
+    CALL = "call"    # call rd?, @name         (consumes queued args; rd=-1 if void)
+    GETPARAM = "getparam"  # getparam rd, i    (read incoming parameter i)
+    SPILL = "spill"  # spill rs, slot          (frame spill area)
+    RELOAD = "reload"  # reload rd, slot
+    BR = "br"        # br label
+    CBR = "cbr"      # cbr rc, label_true, label_false
+    RET = "ret"      # ret rs?                 (rs = -1 for void)
+    LABEL = "label"  # pseudo: marks a branch target
+
+
+#: Number of allocatable physical registers.
+NUM_PHYS_REGS = 16
+
+
+@dataclass
+class MInst:
+    """One machine instruction.
+
+    ``regs`` holds register operands (destination first when present);
+    ``imm`` an integer immediate / frame offset / spill slot / parameter
+    index / CALL argument count; ``extra`` a string payload (icmp
+    predicate, callee, symbol, branch labels).
+    """
+
+    op: MOp
+    regs: list[int] = field(default_factory=list)
+    imm: int = 0
+    extra: str = ""
+
+    def render(self) -> str:
+        r = ",".join(f"r{x}" for x in self.regs)
+        if self.op is MOp.LI:
+            return f"li r{self.regs[0]}, {self.imm}"
+        if self.op is MOp.CMP:
+            return f"cmp.{self.extra} {r}"
+        if self.op is MOp.LEA:
+            return f"lea r{self.regs[0]}, @{self.extra}"
+        if self.op is MOp.FRAME:
+            return f"frame r{self.regs[0]}, {self.imm}"
+        if self.op is MOp.CALL:
+            dest = f"r{self.regs[0]} = " if self.regs and self.regs[0] >= 0 else ""
+            return f"{dest}call @{self.extra}/{self.imm}"
+        if self.op is MOp.GETPARAM:
+            return f"getparam r{self.regs[0]}, {self.imm}"
+        if self.op in (MOp.SPILL, MOp.RELOAD):
+            return f"{self.op.value} r{self.regs[0]}, [{self.imm}]"
+        if self.op is MOp.BR:
+            return f"br {self.extra}"
+        if self.op is MOp.CBR:
+            return f"cbr r{self.regs[0]}, {self.extra}"
+        if self.op is MOp.RET:
+            return f"ret r{self.regs[0]}" if self.regs and self.regs[0] >= 0 else "ret"
+        if self.op is MOp.LABEL:
+            return f"{self.extra}:"
+        if self.imm and self.op is not MOp.LI:
+            return f"{self.op.value} {r}, {self.imm}"
+        return f"{self.op.value} {r}"
+
+
+@dataclass
+class MachineFunction:
+    """A function's machine code plus frame metadata.
+
+    Before register allocation ``code`` uses virtual register numbers
+    and ``num_virtual_regs`` is set; after allocation registers are
+    physical (< :data:`NUM_PHYS_REGS`) and ``frame_size`` covers both
+    spill slots and alloca storage.
+    """
+
+    name: str
+    num_params: int
+    code: list[MInst] = field(default_factory=list)
+    num_virtual_regs: int = 0
+    frame_size: int = 0
+    is_allocated: bool = False
+
+    def render(self) -> str:
+        lines = [f"func @{self.name} params={self.num_params} frame={self.frame_size}"]
+        for inst in self.code:
+            indent = "" if inst.op is MOp.LABEL else "  "
+            lines.append(indent + inst.render())
+        return "\n".join(lines)
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(1 for i in self.code if i.op is not MOp.LABEL)

@@ -1,0 +1,62 @@
+"""Peephole cleanup on register-allocated MIR.
+
+Small, local, obviously-sound rewrites:
+
+- drop ``mv rX, rX`` identity moves (common after phi-copy lowering
+  when allocation assigns source and destination the same register);
+- drop ``br L`` when ``L`` is the textually next label (fallthrough is
+  legal in the linked image: execution continues at the next index);
+- drop unreachable code between an unconditional control transfer
+  (``br``/``ret``) and the next label.
+"""
+
+from __future__ import annotations
+
+from repro.backend.mir import MachineFunction, MInst, MOp
+
+
+def peephole_function(mf: MachineFunction) -> int:
+    """Apply all peepholes until fixpoint; returns #instructions removed."""
+    removed_total = 0
+    while True:
+        removed = _run_once(mf)
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def _run_once(mf: MachineFunction) -> int:
+    code = mf.code
+    keep: list[MInst] = []
+    removed = 0
+    dead = False  # between a br/ret and the next label
+    for i, inst in enumerate(code):
+        if inst.op is MOp.LABEL:
+            dead = False
+            keep.append(inst)
+            continue
+        if dead:
+            removed += 1
+            continue
+        if inst.op is MOp.MV and inst.regs[0] == inst.regs[1]:
+            removed += 1
+            continue
+        if inst.op is MOp.BR:
+            next_label = _next_label(code, i)
+            if next_label == inst.extra:
+                removed += 1
+                continue
+            dead = True
+        elif inst.op is MOp.RET:
+            dead = True
+        keep.append(inst)
+    mf.code = keep
+    return removed
+
+
+def _next_label(code: list[MInst], index: int) -> str | None:
+    for inst in code[index + 1 :]:
+        if inst.op is MOp.LABEL:
+            return inst.extra
+        return None  # an instruction intervenes
+    return None

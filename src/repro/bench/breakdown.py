@@ -1,0 +1,81 @@
+"""Per-pass compile-effort breakdown (Figure 8).
+
+After one representative edit, rebuilds the dirty files with the
+stateless and stateful compilers and reports, per pipeline pass, the
+work executed and wall time — showing exactly where bypassing saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.buildsys.builddb import BuildDatabase
+from repro.buildsys.incremental import IncrementalBuilder
+from repro.core.statistics import summarize_log
+from repro.driver import Compiler, CompilerOptions
+from repro.workload.edits import Edit, EditKind, apply_edit
+from repro.workload.generator import generate_project
+from repro.workload.spec import make_preset
+
+
+@dataclass
+class PassBreakdownRow:
+    pass_name: str
+    stateless_executed: int
+    stateless_work: int
+    stateful_executed: int
+    stateful_bypassed: int
+    stateful_work: int
+
+    @property
+    def work_saved_ratio(self) -> float:
+        if self.stateless_work == 0:
+            return 0.0
+        return 1.0 - self.stateful_work / self.stateless_work
+
+
+def pass_breakdown(
+    preset: str = "medium",
+    *,
+    opt_level: str = "O2",
+    seed: int = 1,
+) -> list[PassBreakdownRow]:
+    """Per-pass comparison on the rebuild following one body edit."""
+    spec = make_preset(preset, seed=seed)
+    base = generate_project(spec)
+    # A representative edit: one function body in one module.
+    module = spec.modules[len(spec.modules) // 2]
+    target = module.functions[len(module.functions) // 2]
+    edited = generate_project(
+        apply_edit(spec, Edit(EditKind.BODY, module.name, target.name))
+    )
+
+    per_variant: dict[bool, dict[str, dict[str, int]]] = {}
+    for stateful in (False, True):
+        options = CompilerOptions(opt_level=opt_level, stateful=stateful)
+        db = BuildDatabase()
+        IncrementalBuilder(base.provider(), base.unit_paths, options, db).build()
+        report = IncrementalBuilder(edited.provider(), edited.unit_paths, options, db).build()
+        per_variant[stateful] = report.bypass.by_pass
+
+    names: list[str] = []
+    for variant in per_variant.values():
+        for name in variant:
+            if name not in names:
+                names.append(name)
+
+    rows = []
+    for name in names:
+        stateless = per_variant[False].get(name, {})
+        stateful = per_variant[True].get(name, {})
+        rows.append(
+            PassBreakdownRow(
+                pass_name=name,
+                stateless_executed=stateless.get("executed", 0),
+                stateless_work=stateless.get("work", 0),
+                stateful_executed=stateful.get("executed", 0),
+                stateful_bypassed=stateful.get("bypassed", 0),
+                stateful_work=stateful.get("work", 0),
+            )
+        )
+    return rows

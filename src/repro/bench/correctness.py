@@ -1,0 +1,81 @@
+"""Correctness experiment (Table 4).
+
+The stateful compiler must be *invisible* in the output: across an edit
+trace, every build's object files must be byte-identical to the
+stateless compiler's, and the linked programs must behave identically
+when executed.  Any divergence is a safety bug in the bypass mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buildsys.builddb import BuildDatabase
+from repro.buildsys.incremental import IncrementalBuilder
+from repro.driver import CompilerOptions
+from repro.vm.machine import VirtualMachine
+from repro.workload.edits import apply_edit, random_edit_sequence
+from repro.workload.generator import generate_project
+from repro.workload.spec import make_preset
+
+
+@dataclass
+class CorrectnessResult:
+    preset: str
+    builds_checked: int = 0
+    objects_compared: int = 0
+    object_mismatches: list[str] = field(default_factory=list)
+    behaviour_mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.object_mismatches and not self.behaviour_mismatches
+
+
+def correctness_check(
+    preset: str = "small",
+    *,
+    num_edits: int = 8,
+    opt_level: str = "O2",
+    seed: int = 1,
+    execute: bool = True,
+) -> CorrectnessResult:
+    """Replay an edit trace building with both compilers; compare."""
+    result = CorrectnessResult(preset)
+    spec = make_preset(preset, seed=seed)
+    edits = random_edit_sequence(spec, num_edits, seed=seed)
+
+    stateless_db = BuildDatabase()
+    stateful_db = BuildDatabase()
+    stateless_options = CompilerOptions(opt_level=opt_level, stateful=False)
+    stateful_options = CompilerOptions(opt_level=opt_level, stateful=True)
+
+    specs = [spec]
+    for edit in edits:
+        specs.append(apply_edit(specs[-1], edit))
+
+    for step, current in enumerate(specs):
+        project = generate_project(current)
+        stateless_report = IncrementalBuilder(
+            project.provider(), project.unit_paths, stateless_options, stateless_db
+        ).build()
+        stateful_report = IncrementalBuilder(
+            project.provider(), project.unit_paths, stateful_options, stateful_db
+        ).build()
+        result.builds_checked += 1
+
+        for path in project.unit_paths:
+            result.objects_compared += 1
+            a = stateless_db.units[path].object_json
+            b = stateful_db.units[path].object_json
+            if a != b:
+                result.object_mismatches.append(f"step {step}: {path}")
+
+        if execute:
+            a = VirtualMachine(stateless_report.image).run()
+            b = VirtualMachine(stateful_report.image).run()
+            if not a.same_behaviour(b):
+                result.behaviour_mismatches.append(
+                    f"step {step}: {a.output[:5]}... vs {b.output[:5]}..."
+                )
+    return result

@@ -1,0 +1,95 @@
+"""Overheads of statefulness (Table 3).
+
+The mechanism is not free: the first (clean) build must fingerprint
+every function at every pipeline change point and write records; the
+state occupies disk; loading/saving takes time.  This experiment
+quantifies all three per project preset.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.buildsys.builddb import BuildDatabase
+from repro.buildsys.incremental import IncrementalBuilder
+from repro.core.state import CompilerState
+from repro.driver import CompilerOptions
+from repro.workload.generator import generate_project
+from repro.workload.spec import make_preset
+
+
+@dataclass
+class OverheadRow:
+    preset: str
+    source_lines: int
+    stateless_clean_time: float
+    stateful_clean_time: float
+    state_bytes: int
+    state_records: int
+    fingerprint_time: float
+    fingerprint_count: int
+    state_load_time: float
+    state_save_time: float
+
+    @property
+    def clean_build_overhead(self) -> float:
+        """Relative first-build slowdown from recording state."""
+        if self.stateless_clean_time == 0:
+            return 0.0
+        return self.stateful_clean_time / self.stateless_clean_time - 1.0
+
+
+def overhead_report(
+    presets: list[str] | None = None,
+    *,
+    opt_level: str = "O2",
+    seed: int = 1,
+) -> list[OverheadRow]:
+    presets = presets or ["tiny", "small", "medium", "large"]
+    rows = []
+    for preset in presets:
+        project = generate_project(make_preset(preset, seed=seed))
+
+        stateless = IncrementalBuilder(
+            project.provider(),
+            project.unit_paths,
+            CompilerOptions(opt_level=opt_level, stateful=False),
+            BuildDatabase(),
+        ).build(link_output=False)
+
+        db = BuildDatabase()
+        stateful = IncrementalBuilder(
+            project.provider(),
+            project.unit_paths,
+            CompilerOptions(opt_level=opt_level, stateful=True),
+            db,
+        ).build(link_output=False)
+
+        # Flush the live state and round-trip it to measure pure
+        # (de)serialization cost and on-disk size.
+        assert isinstance(db.live_state, CompilerState)
+        start = time.perf_counter()
+        state_json = db.live_state.to_json()
+        save_time = time.perf_counter() - start
+        start = time.perf_counter()
+        CompilerState.from_json(state_json)
+        load_time = time.perf_counter() - start
+        state_bytes = len(state_json.encode("utf-8"))
+        state_records = db.live_state.num_records
+
+        rows.append(
+            OverheadRow(
+                preset=preset,
+                source_lines=project.total_lines,
+                stateless_clean_time=stateless.total_wall_time,
+                stateful_clean_time=stateful.total_wall_time,
+                state_bytes=state_bytes,
+                state_records=state_records,
+                fingerprint_time=sum(u.fingerprint_time for u in stateful.compiled),
+                fingerprint_count=sum(u.fingerprint_count for u in stateful.compiled),
+                state_load_time=load_time,
+                state_save_time=save_time,
+            )
+        )
+    return rows

@@ -1,0 +1,45 @@
+"""Benchmark-suite characteristics (Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.driver import Compiler, CompilerOptions
+from repro.workload.generator import generate_project
+from repro.workload.spec import PRESETS, make_preset
+
+
+@dataclass
+class ProjectRow:
+    preset: str
+    files: int
+    headers: int
+    source_lines: int
+    functions: int
+    ir_instructions: int
+
+
+def project_characteristics(
+    presets: list[str] | None = None, *, seed: int = 1
+) -> list[ProjectRow]:
+    """Table 1: size metrics per project preset."""
+    presets = presets or list(PRESETS)
+    rows = []
+    for preset in presets:
+        project = generate_project(make_preset(preset, seed=seed))
+        compiler = Compiler(project.provider(), CompilerOptions(opt_level="O0"))
+        ir_instructions = 0
+        for path in project.unit_paths:
+            result = compiler.compile_file(path)
+            ir_instructions += result.module.num_instructions
+        rows.append(
+            ProjectRow(
+                preset=preset,
+                files=len(project.unit_paths),
+                headers=len(project.header_paths),
+                source_lines=project.total_lines,
+                functions=project.count_functions(),
+                ir_instructions=ir_instructions,
+            )
+        )
+    return rows

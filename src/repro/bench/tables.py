@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    *,
+    title: str = "",
+    float_digits: int = 3,
+) -> str:
+    """Render an aligned text table."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geomean, ignoring non-positive values (which would be degenerate)."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    product = 1.0
+    for v in positives:
+        product *= v
+    return product ** (1.0 / len(positives))

@@ -1,0 +1,238 @@
+"""Command-line tools: ``reproc`` (compiler) and ``reprobuild`` (builder).
+
+``reproc`` compiles one translation unit::
+
+    reproc main.mc -O2 --stateful --state-file .reprostate -o main.mo
+    reproc main.mc --emit-ir            # print optimized IR
+    reproc main.mc --run                # compile, link, execute
+
+``reprobuild`` drives incremental builds of a project directory::
+
+    reprobuild src/ --db build.reprodb --stateful --run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.backend.linker import link
+from repro.buildsys.builddb import BuildDatabase
+from repro.buildsys.incremental import IncrementalBuilder
+from repro.core.policies import SkipPolicy
+from repro.core.state import CompilerState
+from repro.core.statistics import summarize_log
+from repro.driver import Compiler, CompilerOptions
+from repro.frontend.diagnostics import CompileError
+from repro.frontend.includes import DiskFileProvider
+from repro.ir.printer import print_module
+from repro.vm.machine import VirtualMachine
+from repro.workload.project import Project
+
+
+def _common_compiler_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-O", dest="opt_level", choices=["0", "1", "2"], default="2",
+        help="optimization level (default 2)",
+    )
+    parser.add_argument(
+        "--stateful", action="store_true",
+        help="enable the stateful compiler (dormant-pass bypassing)",
+    )
+    parser.add_argument(
+        "--policy", choices=[p.value for p in SkipPolicy], default="fine",
+        help="bypass granularity for --stateful (default fine)",
+    )
+    parser.add_argument(
+        "--fingerprint-mode", choices=["canonical", "named"], default="canonical",
+        help="IR fingerprint definition (default canonical)",
+    )
+
+
+def _options_from_args(args: argparse.Namespace) -> CompilerOptions:
+    return CompilerOptions(
+        opt_level=f"O{args.opt_level}",
+        stateful=args.stateful,
+        policy=SkipPolicy.from_name(args.policy),
+        fingerprint_mode=args.fingerprint_mode,
+    )
+
+
+def reproc_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="reproc", description="MiniC compiler")
+    parser.add_argument("source", help="translation unit (.mc) to compile")
+    _common_compiler_flags(parser)
+    parser.add_argument("-o", "--output", help="object file path (default <src>.mo)")
+    parser.add_argument("--state-file", help="compiler-state path for --stateful")
+    parser.add_argument("--emit-ir", action="store_true", help="print optimized IR and exit")
+    parser.add_argument(
+        "--disasm", action="store_true", help="print disassembled machine code and exit"
+    )
+    parser.add_argument("--run", action="store_true", help="link and execute after compiling")
+    parser.add_argument("--stats", action="store_true", help="print pass/bypass statistics")
+    parser.add_argument(
+        "--inspect-state", action="store_true",
+        help="after compiling, print a summary of the compiler state",
+    )
+    args = parser.parse_args(argv)
+
+    source_path = Path(args.source)
+    if not source_path.is_file():
+        print(f"reproc: no such file: {args.source}", file=sys.stderr)
+        return 2
+    provider = DiskFileProvider(source_path.parent)
+    options = _options_from_args(args)
+    compiler = Compiler(provider, options)
+
+    if options.stateful and args.state_file:
+        compiler.state = CompilerState.load(
+            args.state_file,
+            pipeline_signature=compiler.pipeline_signature,
+            fingerprint_mode=options.fingerprint_mode,
+        )
+        compiler.state.begin_build()
+
+    try:
+        result = compiler.compile_source(source_path.name, source_path.read_text())
+    except CompileError as exc:
+        for diag in exc.diagnostics:
+            print(diag.render(), file=sys.stderr)
+        return 1
+
+    if options.stateful and args.state_file and compiler.state is not None:
+        compiler.state.collect_garbage()
+        compiler.state.save(args.state_file)
+    if args.inspect_state and compiler.state is not None:
+        from repro.core.inspect import describe_state
+
+        print(describe_state(compiler.state), file=sys.stderr)
+
+    if args.emit_ir:
+        print(print_module(result.module), end="")
+        return 0
+
+    if args.disasm:
+        from repro.backend.disasm import disassemble_object
+
+        print(disassemble_object(result.object_file))
+        return 0
+
+    output = Path(args.output) if args.output else source_path.with_suffix(".mo")
+    output.write_text(result.object_file.to_json())
+
+    if args.stats:
+        stats = summarize_log(result.events)
+        print(
+            f"passes: executed={stats.executions} dormant={stats.dormant_executions} "
+            f"bypassed={stats.bypassed} work={stats.work_executed}",
+            file=sys.stderr,
+        )
+        if result.overhead:
+            print(
+                f"state overhead: {result.overhead.fingerprint_count} fingerprints "
+                f"({result.overhead.fingerprint_time * 1000:.1f} ms)",
+                file=sys.stderr,
+            )
+
+    if args.run:
+        image = link([result.object_file])
+        outcome = VirtualMachine(image).run()
+        for value in outcome.output:
+            print(value)
+        if outcome.trapped:
+            print(f"trap: {outcome.trap_message}", file=sys.stderr)
+            return 70
+        return outcome.exit_code & 0x7F
+    return 0
+
+
+def reprobench_main(argv: list[str] | None = None) -> int:
+    """Run the full evaluation and print/write the combined report."""
+    parser = argparse.ArgumentParser(prog="reprobench", description="evaluation report")
+    parser.add_argument("-o", "--output", help="write the report to a file as well")
+    parser.add_argument(
+        "--preset", action="append", dest="presets",
+        help="project preset(s) to evaluate (repeatable; default tiny/small/medium)",
+    )
+    parser.add_argument("--edits", type=int, default=8, help="edit-trace length")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    from repro.bench.report import ReportConfig, generate_report
+
+    config = ReportConfig(num_edits=args.edits, seed=args.seed)
+    if args.presets:
+        config = ReportConfig(
+            presets=tuple(args.presets),
+            headline_presets=tuple(args.presets[-2:]),
+            dormancy_preset=args.presets[-1],
+            num_edits=args.edits,
+            seed=args.seed,
+        )
+    report = generate_report(config)
+    print(report)
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+    return 0
+
+
+def reprobuild_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="reprobuild", description="incremental builder")
+    parser.add_argument("directory", help="project directory containing .mc/.mh files")
+    _common_compiler_flags(parser)
+    parser.add_argument("--db", default="build.reprodb", help="build database path")
+    parser.add_argument("--run", action="store_true", help="execute the linked image")
+    parser.add_argument("--entry", default="main", help="entry function (default main)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"reprobuild: no such directory: {args.directory}", file=sys.stderr)
+        return 2
+    project = Project.read_from(root)
+    if not project.unit_paths:
+        print("reprobuild: no .mc files found", file=sys.stderr)
+        return 2
+
+    db = BuildDatabase.load(args.db)
+    options = _options_from_args(args)
+    builder = IncrementalBuilder(project.provider(), project.unit_paths, options, db)
+
+    start = time.perf_counter()
+    try:
+        report = builder.build()
+    except CompileError as exc:
+        for diag in exc.diagnostics:
+            print(diag.render(), file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    db_bytes = db.save(args.db)
+
+    print(
+        f"build: {report.num_recompiled} recompiled, {len(report.up_to_date)} up-to-date, "
+        f"{elapsed:.3f}s total",
+        file=sys.stderr,
+    )
+    if options.stateful:
+        print(
+            f"state: {report.state_records} records ({db_bytes} bytes with build DB); "
+            f"bypassed {report.bypass.bypassed}/{report.bypass.bypassed + report.bypass.executions} "
+            f"pass runs",
+            file=sys.stderr,
+        )
+
+    if args.run and report.image is not None:
+        outcome = VirtualMachine(report.image).run(args.entry)
+        for value in outcome.output:
+            print(value)
+        if outcome.trapped:
+            print(f"trap: {outcome.trap_message}", file=sys.stderr)
+            return 70
+        return outcome.exit_code & 0x7F
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(reproc_main())

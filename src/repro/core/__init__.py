@@ -1,0 +1,36 @@
+"""The paper's contribution: the stateful compiler.
+
+Conventional compilers are stateless: recompiling a changed file redoes
+every pass on every function, even though most pass executions are
+*dormant* (they inspect the IR and change nothing) and most functions in
+the file did not change.  This package persists dormancy records across
+builds and bypasses provably-dormant passes:
+
+- :mod:`repro.core.state` — the on-disk compiler state: dormancy
+  records keyed by (pipeline position, IR fingerprint), versioned,
+  garbage-collected.
+- :mod:`repro.core.stateful` — ``StatefulPassManager``: consults the
+  state before each function pass, bypassing recorded-dormant ones.
+- :mod:`repro.core.policies` — skip-granularity policies (the paper's
+  fine-grained function×pass vs the coarse whole-function baseline).
+- :mod:`repro.core.statistics` — dormancy/bypass accounting.
+"""
+
+from repro.core.inspect import StateSummary, describe_state, summarize_state
+from repro.core.policies import SkipPolicy
+from repro.core.state import CompilerState, DormancyRecord, STATE_SCHEMA_VERSION
+from repro.core.stateful import StatefulPassManager
+from repro.core.statistics import BypassStatistics, summarize_log
+
+__all__ = [
+    "StateSummary",
+    "describe_state",
+    "summarize_state",
+    "SkipPolicy",
+    "CompilerState",
+    "DormancyRecord",
+    "STATE_SCHEMA_VERSION",
+    "StatefulPassManager",
+    "BypassStatistics",
+    "summarize_log",
+]

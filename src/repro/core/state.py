@@ -1,0 +1,170 @@
+"""Persistent compiler state: dormancy records across builds.
+
+The state is a map
+
+    (pipeline position, IR fingerprint entering that position)
+        -> DormancyRecord(dormant, fingerprint_out, last_used_build)
+
+Keying by fingerprint rather than function name has two consequences
+the paper's design cares about:
+
+1. **Safety** — a record can only be applied to IR that hashes to the
+   recorded fingerprint; renames, edits, and pipeline divergence all
+   change the fingerprint and naturally miss.
+2. **Sharing** — two identical functions (or the same function in two
+   builds) share records for free.
+
+The state file additionally stores the pipeline signature (pass names
+by position) and fingerprint mode; a mismatch invalidates the whole
+state, as does a schema version bump.  Entries unused for
+``gc_max_age`` consecutive builds are garbage-collected so the file
+does not grow without bound as code churns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+STATE_SCHEMA_VERSION = 3
+
+
+@dataclass
+class DormancyRecord:
+    """What happened when a pass ran on IR with a given fingerprint."""
+
+    dormant: bool
+    #: Fingerprint after the pass ran (== the incoming one when dormant).
+    fingerprint_out: str
+    #: Build counter when this record was last consulted or refreshed.
+    last_used_build: int = 0
+
+
+@dataclass
+class CompilerState:
+    """In-memory compiler state, serializable to one JSON file."""
+
+    pipeline_signature: str = ""
+    fingerprint_mode: str = "canonical"
+    build_counter: int = 0
+    gc_max_age: int = 50
+    records: dict[tuple[int, str], DormancyRecord] = field(default_factory=dict)
+
+    # -- record access ------------------------------------------------------
+
+    def lookup(self, position: int, fingerprint: str) -> DormancyRecord | None:
+        """Fetch a record, refreshing its GC timestamp on hit."""
+        record = self.records.get((position, fingerprint))
+        if record is not None:
+            record.last_used_build = self.build_counter
+        return record
+
+    def remember(
+        self, position: int, fingerprint_in: str, dormant: bool, fingerprint_out: str
+    ) -> None:
+        self.records[(position, fingerprint_in)] = DormancyRecord(
+            dormant, fingerprint_out, self.build_counter
+        )
+
+    def begin_build(self) -> None:
+        """Advance the build counter (called once per build by the driver)."""
+        self.build_counter += 1
+
+    def collect_garbage(self) -> int:
+        """Drop records unused for more than ``gc_max_age`` builds."""
+        cutoff = self.build_counter - self.gc_max_age
+        stale = [k for k, r in self.records.items() if r.last_used_build < cutoff]
+        for key in stale:
+            del self.records[key]
+        return len(stale)
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+    # -- compatibility ---------------------------------------------------------
+
+    def compatible_with(self, pipeline_signature: str, fingerprint_mode: str) -> bool:
+        return (
+            self.pipeline_signature == pipeline_signature
+            and self.fingerprint_mode == fingerprint_mode
+        )
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": STATE_SCHEMA_VERSION,
+            "pipeline": self.pipeline_signature,
+            "fingerprint_mode": self.fingerprint_mode,
+            "build_counter": self.build_counter,
+            "gc_max_age": self.gc_max_age,
+            "records": [
+                [pos, fp, int(r.dormant), r.fingerprint_out, r.last_used_build]
+                for (pos, fp), r in sorted(self.records.items())
+            ],
+        }
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompilerState":
+        payload = json.loads(text)
+        if payload.get("schema") != STATE_SCHEMA_VERSION:
+            raise ValueError(
+                f"state schema {payload.get('schema')} != {STATE_SCHEMA_VERSION}"
+            )
+        state = cls(
+            pipeline_signature=payload["pipeline"],
+            fingerprint_mode=payload["fingerprint_mode"],
+            build_counter=payload["build_counter"],
+            gc_max_age=payload.get("gc_max_age", 50),
+        )
+        for pos, fp, dormant, fp_out, last_used in payload["records"]:
+            state.records[(pos, fp)] = DormancyRecord(bool(dormant), fp_out, last_used)
+        return state
+
+    # -- file I/O ----------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Write atomically; returns the serialized size in bytes."""
+        path = Path(path)
+        data = self.to_json().encode("utf-8")
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        return len(data)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        pipeline_signature: str,
+        fingerprint_mode: str = "canonical",
+    ) -> "CompilerState":
+        """Load state, returning a fresh one on any incompatibility.
+
+        A missing file, unreadable JSON, schema mismatch, or pipeline /
+        fingerprint-mode mismatch all yield an empty state — stale state
+        must never be applied.
+        """
+        path = Path(path)
+        fresh = cls(
+            pipeline_signature=pipeline_signature, fingerprint_mode=fingerprint_mode
+        )
+        if not path.is_file():
+            return fresh
+        try:
+            state = cls.from_json(path.read_text())
+        except (ValueError, KeyError, json.JSONDecodeError, OSError):
+            return fresh
+        if not state.compatible_with(pipeline_signature, fingerprint_mode):
+            return fresh
+        return state
+
+
+def pipeline_signature_of(pipeline) -> str:
+    """Stable signature of a pipeline's function-pass sequence."""
+    return "|".join(pipeline.position_names())

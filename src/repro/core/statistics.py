@@ -1,0 +1,64 @@
+"""Dormancy and bypass accounting over pass-event logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.passmanager.events import PassEventLog
+
+
+@dataclass
+class BypassStatistics:
+    """Aggregated counters for one (or several merged) compilations."""
+
+    executions: int = 0
+    dormant_executions: int = 0
+    bypassed: int = 0
+    work_executed: int = 0
+    by_pass: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def dormancy_ratio(self) -> float:
+        """Fraction of executed function-pass runs that changed nothing."""
+        return self.dormant_executions / self.executions if self.executions else 0.0
+
+    @property
+    def bypass_ratio(self) -> float:
+        """Fraction of scheduled function-pass runs that were skipped."""
+        total = self.executions + self.bypassed
+        return self.bypassed / total if total else 0.0
+
+    def merge(self, other: "BypassStatistics") -> None:
+        self.executions += other.executions
+        self.dormant_executions += other.dormant_executions
+        self.bypassed += other.bypassed
+        self.work_executed += other.work_executed
+        for name, counters in other.by_pass.items():
+            mine = self.by_pass.setdefault(
+                name, {"executed": 0, "dormant": 0, "bypassed": 0, "work": 0}
+            )
+            for key, value in counters.items():
+                mine[key] += value
+
+
+def summarize_log(log: PassEventLog) -> BypassStatistics:
+    """Fold one event log into bypass statistics (function passes only)."""
+    stats = BypassStatistics()
+    for event in log.events:
+        if event.position < 0:
+            continue  # module prelude: outside the dormancy mechanism
+        per = stats.by_pass.setdefault(
+            event.pass_name, {"executed": 0, "dormant": 0, "bypassed": 0, "work": 0}
+        )
+        if event.skipped:
+            stats.bypassed += 1
+            per["bypassed"] += 1
+            continue
+        stats.executions += 1
+        stats.work_executed += event.work
+        per["executed"] += 1
+        per["work"] += event.work
+        if event.dormant:
+            stats.dormant_executions += 1
+            per["dormant"] += 1
+    return stats

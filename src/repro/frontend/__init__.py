@@ -1,0 +1,35 @@
+"""Frontend for the MiniC language: lexing, parsing, semantic analysis.
+
+The frontend turns source text into a type-checked AST.  It is the first
+stage of the ``repro`` compiler pipeline and is deliberately structured
+like a conventional production frontend (Clang-style):
+
+- :mod:`repro.frontend.source` — source files, positions, and spans.
+- :mod:`repro.frontend.diagnostics` — error/warning reporting.
+- :mod:`repro.frontend.lexer` — tokenization.
+- :mod:`repro.frontend.ast` — AST node definitions and visitors.
+- :mod:`repro.frontend.parser` — recursive-descent parser.
+- :mod:`repro.frontend.sema` — symbol tables and type checking.
+- :mod:`repro.frontend.includes` — ``include`` directive resolution.
+"""
+
+from repro.frontend.diagnostics import Diagnostic, DiagnosticEngine, Severity
+from repro.frontend.lexer import Lexer, Token, TokenKind
+from repro.frontend.parser import Parser, parse_source
+from repro.frontend.sema import Sema, analyze
+from repro.frontend.source import SourceFile, SourceSpan
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticEngine",
+    "Severity",
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "Parser",
+    "parse_source",
+    "Sema",
+    "analyze",
+    "SourceFile",
+    "SourceSpan",
+]

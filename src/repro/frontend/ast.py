@@ -1,0 +1,361 @@
+"""AST node definitions for MiniC.
+
+Nodes are plain dataclasses.  Every node carries a source span for
+diagnostics.  Semantic analysis (:mod:`repro.frontend.sema`) annotates
+expression nodes with their computed type in the ``ty`` field and
+resolves name references to declarations.
+
+The hierarchy:
+
+- :class:`Program` — one parsed translation unit.
+- Top-level items: :class:`IncludeDirective`, :class:`GlobalVarDecl`,
+  :class:`FunctionDecl`.
+- Statements: subclasses of :class:`Stmt`.
+- Expressions: subclasses of :class:`Expr`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.frontend.source import SourceSpan
+from repro.frontend.types import Type
+
+
+@dataclass
+class Node:
+    """Base class of all AST nodes."""
+
+    span: SourceSpan
+
+    @property
+    def kind_name(self) -> str:
+        return type(self).__name__
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions.
+
+    ``ty`` is filled in by semantic analysis.
+    """
+
+    ty: Type | None = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+
+
+@dataclass
+class VarRef(Expr):
+    """A reference to a named variable or constant.
+
+    ``decl`` is resolved by sema to the defining :class:`VarDeclStmt`,
+    :class:`GlobalVarDecl`, or :class:`Param`.
+    """
+
+    name: str
+    decl: object | None = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class ArrayIndex(Expr):
+    """``base[index]`` — base must be an array-typed lvalue."""
+
+    base: Expr
+    index: Expr
+
+
+class UnaryOp(enum.Enum):
+    NEG = "-"
+    NOT = "!"
+    BITNOT = "~"
+
+
+@dataclass
+class Unary(Expr):
+    op: UnaryOp
+    operand: Expr
+
+
+class BinaryOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    SHL = "<<"
+    SHR = ">>"
+    BITAND = "&"
+    BITOR = "|"
+    BITXOR = "^"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    LOGAND = "&&"
+    LOGOR = "||"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in (
+            BinaryOp.LT,
+            BinaryOp.LE,
+            BinaryOp.GT,
+            BinaryOp.GE,
+            BinaryOp.EQ,
+            BinaryOp.NE,
+        )
+
+    @property
+    def is_logical(self) -> bool:
+        return self in (BinaryOp.LOGAND, BinaryOp.LOGOR)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return not self.is_comparison and not self.is_logical
+
+
+@dataclass
+class Binary(Expr):
+    op: BinaryOp
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """``target = value`` or compound ``target op= value``.
+
+    For compound assignment ``op`` holds the underlying arithmetic
+    operator (e.g. ``ADD`` for ``+=``); for plain assignment it is
+    ``None``.  The target must be an lvalue (``VarRef`` of a scalar or
+    ``ArrayIndex``).
+    """
+
+    target: Expr
+    value: Expr
+    op: BinaryOp | None = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++x`` / ``x++`` / ``--x`` / ``x--``."""
+
+    target: Expr
+    is_increment: bool
+    is_prefix: bool
+
+
+@dataclass
+class Call(Expr):
+    """A call to a named function.  ``decl`` resolved by sema."""
+
+    callee: str
+    args: list[Expr]
+    decl: object | None = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class Ternary(Expr):
+    """``cond ? then : otherwise``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt]
+
+
+@dataclass
+class VarDeclStmt(Stmt):
+    """Local variable declaration, optionally initialized."""
+
+    name: str
+    declared_type: Type
+    init: Expr | None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Stmt | None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class ForStmt(Stmt):
+    """C-style ``for (init; cond; step) body``; each header part optional."""
+
+    init: Stmt | None
+    cond: Expr | None
+    step: Expr | None
+    body: Stmt
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top-level items
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class IncludeDirective(Node):
+    """``include "path";`` — textual interface import."""
+
+    path: str
+
+
+@dataclass
+class Param(Node):
+    name: str
+    declared_type: Type
+
+
+@dataclass
+class GlobalVarDecl(Node):
+    """Global variable or constant at file scope.
+
+    ``init`` must be a compile-time constant expression (checked by
+    sema).  ``is_extern`` declarations (no storage, defined elsewhere)
+    appear in headers.
+    """
+
+    name: str
+    declared_type: Type
+    init: Expr | None
+    is_const: bool = False
+    is_extern: bool = False
+
+
+@dataclass
+class FunctionDecl(Node):
+    """Function definition (``body`` set) or declaration (``body`` None)."""
+
+    name: str
+    return_type: Type
+    params: list[Param]
+    body: Block | None
+    is_extern: bool = False
+
+    @property
+    def is_definition(self) -> bool:
+        return self.body is not None
+
+
+@dataclass
+class Program(Node):
+    """One parsed translation unit: ordered top-level items."""
+
+    items: list[Node]
+
+    @property
+    def includes(self) -> list[IncludeDirective]:
+        return [i for i in self.items if isinstance(i, IncludeDirective)]
+
+    @property
+    def functions(self) -> list[FunctionDecl]:
+        return [i for i in self.items if isinstance(i, FunctionDecl)]
+
+    @property
+    def globals(self) -> list[GlobalVarDecl]:
+        return [i for i in self.items if isinstance(i, GlobalVarDecl)]
+
+
+# --------------------------------------------------------------------------
+# Visitor
+# --------------------------------------------------------------------------
+
+
+class ASTVisitor:
+    """Double-dispatch visitor over AST nodes.
+
+    Dispatches to ``visit_<ClassName>``; falls back to
+    :meth:`generic_visit`, which recurses into child nodes.  Subclasses
+    override only the hooks they care about.
+    """
+
+    def visit(self, node: Node):
+        method = getattr(self, f"visit_{type(node).__name__}", self.generic_visit)
+        return method(node)
+
+    def generic_visit(self, node: Node):
+        for child in iter_children(node):
+            self.visit(child)
+
+
+def iter_children(node: Node):
+    """Yield the direct AST-node children of ``node`` in source order."""
+    for value in vars(node).values():
+        if isinstance(value, Node):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield item
+
+
+def walk(node: Node):
+    """Yield ``node`` and all descendants, pre-order."""
+    yield node
+    for child in iter_children(node):
+        yield from walk(child)

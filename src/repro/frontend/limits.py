@@ -1,0 +1,24 @@
+"""Interpreter-limit management for recursive compiler stages.
+
+The parser, type checker, lowerer, and const-evaluator all recurse over
+expression trees; a 500-operand chain like ``1 + 1 + ... + 1`` is a
+left-leaning tree half a thousand nodes deep, which blows CPython's
+default 1000-frame recursion limit long before it strains memory.
+Recursive-descent compilers written in Python conventionally raise the
+limit; this helper does so idempotently and is called by each stage's
+constructor.
+"""
+
+from __future__ import annotations
+
+import sys
+
+#: Enough for expression trees tens of thousands of nodes deep while
+#: still catching runaway recursion well before the C stack is at risk.
+RECURSION_CAPACITY = 40_000
+
+
+def ensure_recursion_capacity(minimum: int = RECURSION_CAPACITY) -> None:
+    """Raise the interpreter recursion limit to at least ``minimum``."""
+    if sys.getrecursionlimit() < minimum:
+        sys.setrecursionlimit(minimum)

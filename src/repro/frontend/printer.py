@@ -1,0 +1,201 @@
+"""MiniC AST pretty-printer (source formatter).
+
+Renders a parsed :class:`~repro.frontend.ast.Program` back to canonical
+MiniC text.  Round-trip property (enforced by tests): parsing the
+printed text yields a program that prints identically — which makes the
+printer usable as a formatter (``parse + print``) and as a structural
+equality oracle for AST transformations.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast
+from repro.frontend.types import ArrayType, Type
+
+_INDENT = "  "
+
+# Binary precedence used to minimize parentheses (matches the parser).
+_PRECEDENCE = {
+    ast.BinaryOp.LOGOR: 1,
+    ast.BinaryOp.LOGAND: 2,
+    ast.BinaryOp.BITOR: 3,
+    ast.BinaryOp.BITXOR: 4,
+    ast.BinaryOp.BITAND: 5,
+    ast.BinaryOp.EQ: 6,
+    ast.BinaryOp.NE: 6,
+    ast.BinaryOp.LT: 7,
+    ast.BinaryOp.LE: 7,
+    ast.BinaryOp.GT: 7,
+    ast.BinaryOp.GE: 7,
+    ast.BinaryOp.SHL: 8,
+    ast.BinaryOp.SHR: 8,
+    ast.BinaryOp.ADD: 9,
+    ast.BinaryOp.SUB: 9,
+    ast.BinaryOp.MUL: 10,
+    ast.BinaryOp.DIV: 10,
+    ast.BinaryOp.MOD: 10,
+}
+
+_TERNARY_PRECEDENCE = 0
+
+
+def _type_prefix(ty: Type) -> str:
+    """The part of a declaration before the name (``int``/``bool``)."""
+    if isinstance(ty, ArrayType):
+        return "int"
+    return str(ty)
+
+
+def _type_suffix(ty: Type) -> str:
+    """The part after the name (array extent)."""
+    if isinstance(ty, ArrayType):
+        return f"[{ty.size}]" if ty.size is not None else "[]"
+    return ""
+
+
+def print_expr(expr: ast.Expr, parent_precedence: int = -1) -> str:
+    """Render an expression with minimal parentheses."""
+    text, precedence = _expr_with_precedence(expr)
+    if precedence < parent_precedence:
+        return f"({text})"
+    return text
+
+
+def _expr_with_precedence(expr: ast.Expr) -> tuple[str, int]:
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value), 100
+    if isinstance(expr, ast.BoolLiteral):
+        return ("true" if expr.value else "false"), 100
+    if isinstance(expr, ast.VarRef):
+        return expr.name, 100
+    if isinstance(expr, ast.ArrayIndex):
+        return f"{print_expr(expr.base, 11)}[{print_expr(expr.index)}]", 11
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op.value}{print_expr(expr.operand, 11)}", 11
+    if isinstance(expr, ast.IncDec):
+        op = "++" if expr.is_increment else "--"
+        target = print_expr(expr.target, 11)
+        return (f"{op}{target}" if expr.is_prefix else f"{target}{op}"), 11
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        lhs = print_expr(expr.lhs, prec)           # left-assoc: equal ok on left
+        rhs = print_expr(expr.rhs, prec + 1)
+        return f"{lhs} {expr.op.value} {rhs}", prec
+    if isinstance(expr, ast.Assign):
+        op = f"{expr.op.value}=" if expr.op is not None else "="
+        # Right-associative and lowest precedence.
+        return f"{print_expr(expr.target, 11)} {op} {print_expr(expr.value, -1)}", -1
+    if isinstance(expr, ast.Call):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})", 100
+    if isinstance(expr, ast.Ternary):
+        cond = print_expr(expr.cond, _TERNARY_PRECEDENCE + 1)
+        then = print_expr(expr.then)
+        otherwise = print_expr(expr.otherwise, _TERNARY_PRECEDENCE)
+        return f"{cond} ? {then} : {otherwise}", _TERNARY_PRECEDENCE
+    raise ValueError(f"cannot print {expr.kind_name}")  # pragma: no cover
+
+
+def _print_stmt(stmt: ast.Stmt, indent: int) -> list[str]:
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Block):
+        lines = [f"{pad}{{"]
+        for inner in stmt.stmts:
+            lines.extend(_print_stmt(inner, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.VarDeclStmt):
+        decl = f"{_type_prefix(stmt.declared_type)} {stmt.name}{_type_suffix(stmt.declared_type)}"
+        if stmt.init is not None:
+            decl += f" = {print_expr(stmt.init)}"
+        return [f"{pad}{decl};"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{print_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.IfStmt):
+        lines = [f"{pad}if ({print_expr(stmt.cond)})"]
+        lines.extend(_print_braced_body(stmt.then, indent))
+        if stmt.otherwise is not None:
+            lines.append(f"{pad}else")
+            lines.extend(_print_braced_body(stmt.otherwise, indent))
+        return lines
+    if isinstance(stmt, ast.WhileStmt):
+        return [f"{pad}while ({print_expr(stmt.cond)})"] + _print_braced_body(
+            stmt.body, indent
+        )
+    if isinstance(stmt, ast.DoWhileStmt):
+        lines = [f"{pad}do"]
+        lines.extend(_print_braced_body(stmt.body, indent))
+        lines.append(f"{pad}while ({print_expr(stmt.cond)});")
+        return lines
+    if isinstance(stmt, ast.ForStmt):
+        init = ""
+        if isinstance(stmt.init, ast.VarDeclStmt):
+            init = _print_stmt(stmt.init, 0)[0][:-1]  # drop ';'
+        elif isinstance(stmt.init, ast.ExprStmt):
+            init = print_expr(stmt.init.expr)
+        cond = print_expr(stmt.cond) if stmt.cond is not None else ""
+        step = print_expr(stmt.step) if stmt.step is not None else ""
+        return [f"{pad}for ({init}; {cond}; {step})"] + _print_braced_body(
+            stmt.body, indent
+        )
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {print_expr(stmt.value)};"]
+    if isinstance(stmt, ast.BreakStmt):
+        return [f"{pad}break;"]
+    if isinstance(stmt, ast.ContinueStmt):
+        return [f"{pad}continue;"]
+    raise ValueError(f"cannot print {stmt.kind_name}")  # pragma: no cover
+
+
+def _print_braced_body(stmt: ast.Stmt, indent: int) -> list[str]:
+    """Bodies always print braced (canonical form avoids dangling-else)."""
+    if isinstance(stmt, ast.Block):
+        return _print_stmt(stmt, indent)
+    pad = _INDENT * indent
+    return [f"{pad}{{", *_print_stmt(stmt, indent + 1), f"{pad}}}"]
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a whole translation unit in canonical form."""
+    chunks: list[str] = []
+    for item in program.items:
+        if isinstance(item, ast.IncludeDirective):
+            chunks.append(f'include "{item.path}";')
+        elif isinstance(item, ast.GlobalVarDecl):
+            qualifier = "extern " if item.is_extern else ("const " if item.is_const else "")
+            decl = (
+                f"{qualifier}{_type_prefix(item.declared_type)} {item.name}"
+                f"{_type_suffix(item.declared_type)}"
+            )
+            if item.init is not None:
+                decl += f" = {print_expr(item.init)}"
+            chunks.append(decl + ";")
+        elif isinstance(item, ast.FunctionDecl):
+            qualifier = "extern " if item.is_extern else ""
+            params = ", ".join(
+                f"{_type_prefix(p.declared_type)} {p.name}{_type_suffix(p.declared_type)}"
+                for p in item.params
+            )
+            header = f"{qualifier}{item.return_type} {item.name}({params})"
+            if item.body is None:
+                chunks.append(header + ";")
+            else:
+                body = "\n".join(_print_stmt(item.body, 0))
+                chunks.append(f"{header} {body[0:]}" if body.startswith("{") else header)
+                if body.startswith("{"):
+                    chunks[-1] = f"{header} " + body
+                else:  # pragma: no cover - bodies are always blocks
+                    chunks.append(body)
+        else:  # pragma: no cover
+            raise ValueError(f"cannot print {item.kind_name}")
+    return "\n".join(chunks) + "\n"
+
+
+def format_source(text: str, name: str = "<fmt>") -> str:
+    """Format MiniC source (parse + canonical print)."""
+    from repro.frontend.parser import parse_source
+
+    program, _ = parse_source(name, text)
+    return print_program(program)

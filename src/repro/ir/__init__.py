@@ -1,0 +1,99 @@
+"""SSA intermediate representation.
+
+A small LLVM-flavoured IR: typed values with use-def chains, basic
+blocks with explicit terminators, per-function SSA form (after mem2reg),
+and a textual format that round-trips through the printer and parser.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.fingerprint import canonical_function_text, fingerprint_function, stable_hash
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BrInst,
+    CallInst,
+    CBrInst,
+    GepInst,
+    ICmpInst,
+    ICmpPred,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    TruncInst,
+    UnreachableInst,
+    ZExtInst,
+    eval_binary,
+    eval_icmp,
+    wrap_i64,
+)
+from repro.ir.parser import IRParseError, parse_module
+from repro.ir.printer import print_function, print_instruction, print_module
+from repro.ir.structure import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.types import FunctionSig, I1, I64, IRType, PTR, VOID
+from repro.ir.values import (
+    Argument,
+    ConstantInt,
+    GlobalAddr,
+    UndefValue,
+    Value,
+    const_i1,
+    const_i64,
+)
+from repro.ir.verifier import VerifyError, verify_function, verify_module
+
+__all__ = [
+    "IRBuilder",
+    "canonical_function_text",
+    "fingerprint_function",
+    "stable_hash",
+    "AllocaInst",
+    "BinaryInst",
+    "BrInst",
+    "CallInst",
+    "CBrInst",
+    "GepInst",
+    "ICmpInst",
+    "ICmpPred",
+    "Instruction",
+    "LoadInst",
+    "Opcode",
+    "PhiInst",
+    "RetInst",
+    "SelectInst",
+    "StoreInst",
+    "TruncInst",
+    "UnreachableInst",
+    "ZExtInst",
+    "eval_binary",
+    "eval_icmp",
+    "wrap_i64",
+    "IRParseError",
+    "parse_module",
+    "print_function",
+    "print_instruction",
+    "print_module",
+    "BasicBlock",
+    "Function",
+    "GlobalVariable",
+    "Module",
+    "FunctionSig",
+    "I1",
+    "I64",
+    "IRType",
+    "PTR",
+    "VOID",
+    "Argument",
+    "ConstantInt",
+    "GlobalAddr",
+    "UndefValue",
+    "Value",
+    "const_i1",
+    "const_i64",
+    "VerifyError",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,124 @@
+"""Convenience builder for constructing IR instruction streams.
+
+Mirrors LLVM's ``IRBuilder``: keeps an insertion point (a block) and
+offers one method per instruction that names, inserts, and returns it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BrInst,
+    CallInst,
+    CBrInst,
+    GepInst,
+    ICmpInst,
+    ICmpPred,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    TruncInst,
+    UnreachableInst,
+    ZExtInst,
+)
+from repro.ir.structure import BasicBlock, Function
+from repro.ir.types import FunctionSig, IRType
+from repro.ir.values import Value
+
+
+class IRBuilder:
+    """Appends instructions to a current basic block."""
+
+    def __init__(self, function: Function, block: BasicBlock | None = None):
+        self.function = function
+        self.block = block
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def has_terminator(self) -> bool:
+        """Does the current block already end in a terminator?"""
+        return self.block is not None and self.block.terminator is not None
+
+    def _insert(self, inst: Instruction, prefix: str = "t") -> Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        if not inst.ty.is_void and not inst.name:
+            inst.name = self.function.next_name(prefix)
+        self.block.append(inst)
+        return inst
+
+    # -- arithmetic -------------------------------------------------------
+
+    def binary(self, opcode: Opcode, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self._insert(BinaryInst(opcode, lhs, rhs, name))  # type: ignore[return-value]
+
+    def add(self, a: Value, b: Value) -> BinaryInst:
+        return self.binary(Opcode.ADD, a, b)
+
+    def sub(self, a: Value, b: Value) -> BinaryInst:
+        return self.binary(Opcode.SUB, a, b)
+
+    def mul(self, a: Value, b: Value) -> BinaryInst:
+        return self.binary(Opcode.MUL, a, b)
+
+    def icmp(self, pred: ICmpPred, lhs: Value, rhs: Value, name: str = "") -> ICmpInst:
+        return self._insert(ICmpInst(pred, lhs, rhs, name), "c")  # type: ignore[return-value]
+
+    def select(self, cond: Value, if_true: Value, if_false: Value) -> SelectInst:
+        return self._insert(SelectInst(cond, if_true, if_false))  # type: ignore[return-value]
+
+    def zext(self, value: Value) -> ZExtInst:
+        return self._insert(ZExtInst(value))  # type: ignore[return-value]
+
+    def trunc(self, value: Value) -> TruncInst:
+        return self._insert(TruncInst(value))  # type: ignore[return-value]
+
+    # -- memory -------------------------------------------------------------
+
+    def alloca(self, size: int, name: str = "") -> AllocaInst:
+        return self._insert(AllocaInst(size, name), "a")  # type: ignore[return-value]
+
+    def load(self, ty: IRType, ptr: Value, name: str = "") -> LoadInst:
+        return self._insert(LoadInst(ty, ptr, name), "v")  # type: ignore[return-value]
+
+    def store(self, value: Value, ptr: Value) -> StoreInst:
+        return self._insert(StoreInst(value, ptr))  # type: ignore[return-value]
+
+    def gep(self, base: Value, index: Value) -> GepInst:
+        return self._insert(GepInst(base, index), "p")  # type: ignore[return-value]
+
+    # -- calls & phis -----------------------------------------------------------
+
+    def call(self, callee: str, sig: FunctionSig, args: Sequence[Value]) -> CallInst:
+        return self._insert(CallInst(callee, sig, args), "r")  # type: ignore[return-value]
+
+    def phi(self, ty: IRType, name: str = "") -> PhiInst:
+        """Create a phi at the top of the current block."""
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        inst = PhiInst(ty, name or self.function.next_name("phi"))
+        self.block.insert(self.block.first_non_phi_index(), inst)
+        return inst
+
+    # -- terminators ---------------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> BrInst:
+        return self._insert(BrInst(target))  # type: ignore[return-value]
+
+    def cbr(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> CBrInst:
+        return self._insert(CBrInst(cond, if_true, if_false))  # type: ignore[return-value]
+
+    def ret(self, value: Value | None = None) -> RetInst:
+        return self._insert(RetInst(value))  # type: ignore[return-value]
+
+    def unreachable(self) -> UnreachableInst:
+        return self._insert(UnreachableInst())  # type: ignore[return-value]

@@ -1,0 +1,148 @@
+"""Structural fingerprints of IR functions.
+
+The fingerprint is the core enabler of the stateful compiler: dormancy
+records are keyed by *(function name, pipeline position, fingerprint)*.
+A pass recorded dormant for fingerprint F can be bypassed when the
+function's IR entering that pass hashes to F again — by construction the
+pass would inspect identical IR and change nothing.
+
+Two fingerprint modes (ablated in the Figure-10 experiment):
+
+- **canonical** (default): value/block *names are ignored*; operands are
+  encoded positionally (argument index, defining-instruction index,
+  block index).  Re-lowering unchanged source after edits elsewhere in
+  the file yields the same canonical fingerprint even if name counters
+  drifted.
+- **named**: the printed text is hashed verbatim, so renames invalidate
+  state.  Safe but strictly weaker at bypassing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BrInst,
+    CallInst,
+    CBrInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+)
+from repro.ir.printer import print_function
+from repro.ir.structure import BasicBlock, Function
+from repro.ir.values import Argument, ConstantInt, GlobalAddr, UndefValue, Value
+
+
+def stable_hash(text: str) -> str:
+    """Short, stable hex digest of a string (BLAKE2b-128)."""
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def _encode_operand(
+    value: Value,
+    inst_index: dict[Instruction, int],
+) -> str:
+    if isinstance(value, ConstantInt):
+        return f"c:{value.ty}:{value.value}"
+    if isinstance(value, GlobalAddr):
+        return f"g:{value.symbol}"
+    if isinstance(value, Argument):
+        return f"a:{value.index}"
+    if isinstance(value, UndefValue):
+        return f"u:{value.ty}"
+    if isinstance(value, Instruction):
+        index = inst_index.get(value)
+        # A detached operand should never appear in verified IR; encode it
+        # distinctly so the fingerprint cannot collide with valid IR.
+        return f"i:{index if index is not None else 'detached'}"
+    return f"?:{value.ref()}"
+
+
+def canonical_function_text(fn: Function) -> str:
+    """Name-insensitive canonical serialization of a function's IR."""
+    block_index: dict[BasicBlock, int] = {b: i for i, b in enumerate(fn.blocks)}
+    inst_index: dict[Instruction, int] = {}
+    counter = 0
+    for block in fn.blocks:
+        for inst in block.instructions:
+            inst_index[inst] = counter
+            counter += 1
+
+    lines: list[str] = [f"sig={fn.sig}"]
+    for block in fn.blocks:
+        lines.append(f"B{block_index[block]}:")
+        for inst in block.instructions:
+            parts = [inst.opcode.value, str(inst.ty)]
+            if isinstance(inst, ICmpInst):
+                parts.append(inst.pred.value)
+            elif isinstance(inst, AllocaInst):
+                parts.append(str(inst.size))
+            elif isinstance(inst, CallInst):
+                parts.append(f"@{inst.callee}:{inst.sig}")
+            parts.extend(_encode_operand(op, inst_index) for op in inst.operands)
+            if isinstance(inst, PhiInst):
+                parts.extend(f"b:{block_index.get(b, -1)}" for b in inst.incoming_blocks)
+            elif isinstance(inst, BrInst):
+                parts.append(f"b:{block_index.get(inst.target, -1)}")
+            elif isinstance(inst, CBrInst):
+                parts.append(f"b:{block_index.get(inst.if_true, -1)}")
+                parts.append(f"b:{block_index.get(inst.if_false, -1)}")
+            lines.append(" ".join(parts))
+    return "\n".join(lines)
+
+
+def _canonical_digest(fn: Function) -> str:
+    """Streaming variant of ``stable_hash(canonical_function_text(fn))``.
+
+    Produces the same digest as hashing the canonical text, but feeds
+    the hash incrementally — fingerprinting is on the stateful
+    compiler's hot path, so avoiding the intermediate megastring
+    matters.
+    """
+    block_index: dict[BasicBlock, int] = {b: i for i, b in enumerate(fn.blocks)}
+    inst_index: dict[Instruction, int] = {}
+    counter = 0
+    for block in fn.blocks:
+        for inst in block.instructions:
+            inst_index[inst] = counter
+            counter += 1
+
+    h = hashlib.blake2b(digest_size=16)
+    update = h.update
+    update(f"sig={fn.sig}".encode())
+    for block in fn.blocks:
+        update(f"\nB{block_index[block]}:".encode())
+        for inst in block.instructions:
+            parts = [inst.opcode.value, str(inst.ty)]
+            if isinstance(inst, ICmpInst):
+                parts.append(inst.pred.value)
+            elif isinstance(inst, AllocaInst):
+                parts.append(str(inst.size))
+            elif isinstance(inst, CallInst):
+                parts.append(f"@{inst.callee}:{inst.sig}")
+            parts.extend(_encode_operand(op, inst_index) for op in inst.operands)
+            if isinstance(inst, PhiInst):
+                parts.extend(f"b:{block_index.get(b, -1)}" for b in inst.incoming_blocks)
+            elif isinstance(inst, BrInst):
+                parts.append(f"b:{block_index.get(inst.target, -1)}")
+            elif isinstance(inst, CBrInst):
+                parts.append(f"b:{block_index.get(inst.if_true, -1)}")
+                parts.append(f"b:{block_index.get(inst.if_false, -1)}")
+            update(("\n" + " ".join(parts)).encode())
+    return h.hexdigest()
+
+
+def fingerprint_function(fn: Function, *, mode: str = "canonical") -> str:
+    """Fingerprint a function's IR.
+
+    ``mode`` is ``"canonical"`` (name-insensitive, default) or
+    ``"named"`` (hash of the printed text).
+    """
+    if mode == "canonical":
+        return _canonical_digest(fn)
+    if mode == "named":
+        return stable_hash(print_function(fn))
+    raise ValueError(f"unknown fingerprint mode {mode!r}")

@@ -1,0 +1,108 @@
+"""Textual IR printer.
+
+The format round-trips through :mod:`repro.ir.parser`; it is used for
+tests, debugging dumps, the object-file format, and golden comparisons
+between stateless and stateful compilations.
+
+Example::
+
+    module demo
+    global @g : 1 = [20]
+    declare @print : void(i64)
+    define @add1(i64 %x) -> i64 {
+    ^entry:
+      %t0 = add i64 %x, 1
+      ret %t0
+    }
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BrInst,
+    CallInst,
+    CBrInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    RetInst,
+)
+from repro.ir.structure import BasicBlock, Function, GlobalVariable, Module
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render one instruction (no indentation)."""
+    lhs = f"{inst.ref()} = " if not inst.ty.is_void else ""
+    op = inst.opcode
+    ops = inst.operands
+    if inst.is_binary:
+        return f"{lhs}{op.value} i64 {ops[0].ref()}, {ops[1].ref()}"
+    if isinstance(inst, ICmpInst):
+        return f"{lhs}icmp {inst.pred.value} {ops[0].ref()}, {ops[1].ref()}"
+    if op is Opcode.SELECT:
+        return f"{lhs}select {ops[0].ref()}, {ops[1].ref()}, {ops[2].ref()}"
+    if op is Opcode.ZEXT:
+        return f"{lhs}zext {ops[0].ref()}"
+    if op is Opcode.TRUNC:
+        return f"{lhs}trunc {ops[0].ref()}"
+    if isinstance(inst, AllocaInst):
+        return f"{lhs}alloca {inst.size}"
+    if isinstance(inst, LoadInst):
+        return f"{lhs}load {inst.ty} {ops[0].ref()}"
+    if op is Opcode.STORE:
+        return f"store {ops[0].ref()}, {ops[1].ref()}"
+    if op is Opcode.GEP:
+        return f"{lhs}gep {ops[0].ref()}, {ops[1].ref()}"
+    if isinstance(inst, CallInst):
+        args = ", ".join(a.ref() for a in ops)
+        return f"{lhs}call @{inst.callee}({args}) : {inst.sig}"
+    if isinstance(inst, PhiInst):
+        pairs = ", ".join(f"[{v.ref()}, {b.ref()}]" for v, b in inst.incomings)
+        return f"{lhs}phi {inst.ty} {pairs}"
+    if isinstance(inst, BrInst):
+        return f"br {inst.target.ref()}"
+    if isinstance(inst, CBrInst):
+        return f"cbr {ops[0].ref()}, {inst.if_true.ref()}, {inst.if_false.ref()}"
+    if isinstance(inst, RetInst):
+        return f"ret {inst.value.ref()}" if inst.value is not None else "ret"
+    if op is Opcode.UNREACHABLE:
+        return "unreachable"
+    raise ValueError(f"cannot print {inst!r}")  # pragma: no cover
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"^{block.name}:"]
+    lines.extend(f"  {print_instruction(inst)}" for inst in block.instructions)
+    return "\n".join(lines)
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(f"{a.ty} %{a.name}" for a in fn.args)
+    if fn.is_declaration:
+        return f"declare @{fn.name} : {fn.sig}"
+    header = f"define @{fn.name}({params}) -> {fn.sig.ret} {{"
+    body = "\n".join(print_block(b) for b in fn.blocks)
+    return f"{header}\n{body}\n}}"
+
+
+def print_global(var: GlobalVariable) -> str:
+    if var.is_external:
+        return f"extern global @{var.name} : {var.size}"
+    prefix = "const global" if var.is_const else "global"
+    init = ", ".join(str(v) for v in var.initializer)
+    return f"{prefix} @{var.name} : {var.size} = [{init}]"
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module in deterministic order."""
+    parts = [f"module {module.name}"]
+    for name in sorted(module.globals):
+        parts.append(print_global(module.globals[name]))
+    decls = sorted(f.name for f in module.functions.values() if f.is_declaration)
+    parts.extend(print_function(module.functions[n]) for n in decls)
+    defs = sorted(f.name for f in module.functions.values() if not f.is_declaration)
+    parts.extend(print_function(module.functions[n]) for n in defs)
+    return "\n".join(parts) + "\n"

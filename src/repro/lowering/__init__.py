@@ -1,0 +1,5 @@
+"""AST -> IR lowering."""
+
+from repro.lowering.lower import LoweringError, lower_program, lower_unit
+
+__all__ = ["LoweringError", "lower_program", "lower_unit"]

@@ -1,0 +1,51 @@
+"""Optimization passes.
+
+Every pass reports whether it *changed* the IR — the signal the
+stateful compiler records as dormancy.  A pass returning
+``changed=False`` must not have mutated the function in any observable
+way (the test suite enforces this by fingerprinting before/after).
+"""
+
+from repro.passes.adce import AggressiveDCEPass
+from repro.passes.base import FunctionPass, ModulePass, PassStats
+from repro.passes.cse import LocalCSEPass
+from repro.passes.cvp import CorrelatedValuePropagationPass
+from repro.passes.dce import DeadCodeEliminationPass
+from repro.passes.dse import DeadStoreEliminationPass
+from repro.passes.funcattrs import FunctionAttrsPass
+from repro.passes.gvn import GVNPass
+from repro.passes.ifconv import IfToSelectPass
+from repro.passes.inliner import InlinerPass
+from repro.passes.instsimplify import InstSimplifyPass
+from repro.passes.jumpthreading import JumpThreadingPass
+from repro.passes.licm import LICMPass
+from repro.passes.loopunroll import LoopUnrollPass
+from repro.passes.mem2reg import Mem2RegPass
+from repro.passes.reassociate import ReassociatePass
+from repro.passes.sccp import SCCPPass
+from repro.passes.strengthreduce import StrengthReducePass
+from repro.passes.simplifycfg import SimplifyCFGPass
+
+__all__ = [
+    "AggressiveDCEPass",
+    "IfToSelectPass",
+    "StrengthReducePass",
+    "CorrelatedValuePropagationPass",
+    "JumpThreadingPass",
+    "ReassociatePass",
+    "FunctionPass",
+    "ModulePass",
+    "PassStats",
+    "LocalCSEPass",
+    "DeadCodeEliminationPass",
+    "DeadStoreEliminationPass",
+    "FunctionAttrsPass",
+    "GVNPass",
+    "InlinerPass",
+    "InstSimplifyPass",
+    "LICMPass",
+    "LoopUnrollPass",
+    "Mem2RegPass",
+    "SCCPPass",
+    "SimplifyCFGPass",
+]

@@ -1,0 +1,116 @@
+"""Aggressive dead-code elimination (mark & sweep with control deps).
+
+Starts from the roots (stores, calls with side effects, returns) and
+marks everything they transitively need — including, via control
+dependence from the post-dominator tree, the branches that decide
+whether a root executes.  Unmarked non-terminator instructions are
+swept.
+
+On already-cleaned IR this pass is usually dormant, but it performs its
+full analysis (post-dominators + mark phase) every run — exactly the
+"expensive pass that concludes nothing" profile whose bypassing the
+stateful compiler monetizes.  It catches what plain DCE cannot: code
+whose only consumers are themselves dead across block boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.postdominators import PostDominatorTree
+from repro.ir.instructions import (
+    CallInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+)
+from repro.ir.structure import Function, Module
+from repro.ir.values import UndefValue
+from repro.passes.base import FunctionPass, PassStats
+from repro.passes.funcattrs import get_pure_functions
+
+
+def _is_root(inst: Instruction, pure: frozenset[str]) -> bool:
+    if inst.opcode in (Opcode.STORE, Opcode.RET, Opcode.UNREACHABLE):
+        return True
+    if isinstance(inst, CallInst):
+        return inst.callee not in pure
+    if inst.opcode in (Opcode.SDIV, Opcode.SREM):
+        return True  # may trap; removing would hide the trap
+    return False
+
+
+class AggressiveDCEPass(FunctionPass):
+    """Mark-and-sweep DCE driven by control dependence."""
+
+    name = "adce"
+
+    def run_on_function(self, fn: Function, module: Module) -> PassStats:
+        stats = PassStats(work=fn.num_instructions)
+        pure = get_pure_functions(module)
+        pdt = PostDominatorTree.compute(fn)
+        control_deps = pdt.control_dependents()
+        #: block -> branch blocks whose decision controls it
+        controlling: dict = {}
+        for branch_block, dependents in control_deps.items():
+            for block in dependents:
+                controlling.setdefault(block, []).append(branch_block)
+
+        live: set[Instruction] = set()
+        live_blocks: set = set()
+        worklist: deque[Instruction] = deque()
+
+        def mark(inst: Instruction) -> None:
+            if inst not in live:
+                live.add(inst)
+                worklist.append(inst)
+
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if _is_root(inst, pure):
+                    mark(inst)
+
+        while worklist:
+            inst = worklist.popleft()
+            stats.work += 1
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    mark(op)
+            block = inst.parent
+            assert block is not None
+            if isinstance(inst, PhiInst):
+                # The phis' semantics depend on which edge ran: keep the
+                # incoming blocks' terminators.
+                for pred in inst.incoming_blocks:
+                    term = pred.terminator
+                    if term is not None:
+                        mark(term)
+            if block not in live_blocks:
+                live_blocks.add(block)
+                # Keep the branches this block's execution depends on.
+                for branch_block in controlling.get(block, ()):
+                    term = branch_block.terminator
+                    if term is not None:
+                        mark(term)
+                # Reachability chain: something must branch here at all.
+                for pred in fn.predecessors()[block]:
+                    term = pred.terminator
+                    if term is not None and len(pred.successors()) == 1:
+                        mark(term)
+
+        swept = 0
+        for block in fn.blocks:
+            for inst in reversed(list(block.instructions)):
+                if inst in live or inst.is_terminator:
+                    continue
+                if isinstance(inst, (LoadInst, PhiInst)) or inst.is_pure or (
+                    isinstance(inst, CallInst) and inst.callee in pure
+                ) or inst.opcode is Opcode.ALLOCA:
+                    inst.replace_all_uses_with(UndefValue(inst.ty))
+                    inst.erase()
+                    swept += 1
+        if swept:
+            stats.changed = True
+            stats.bump("swept", swept)
+        return stats

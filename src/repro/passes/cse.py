@@ -1,0 +1,107 @@
+"""Local common-subexpression elimination, including redundant loads.
+
+Within a single block, forward scan with an available-expression table.
+Complements GVN by also unifying *loads*: a load is redundant if the
+same address was loaded (or stored) earlier in the block with no
+intervening may-write (store or call).  A store makes its value
+available to following loads of the same address (store-to-load
+forwarding).
+
+Aliasing uses :mod:`repro.analysis.alias`: a store only invalidates
+availability entries it may alias (distinct allocas, distinct globals,
+and provably distinct constant indices survive); an impure call only
+invalidates locations it could access (non-escaping allocas survive).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.alias import AliasResult, classify_pointer, may_alias, _address_escapes
+from repro.ir.instructions import (
+    AllocaInst,
+    CallInst,
+    Instruction,
+    LoadInst,
+    StoreInst,
+)
+from repro.ir.structure import Function, Module
+from repro.ir.values import Value
+from repro.passes.base import FunctionPass, PassStats
+from repro.passes.funcattrs import get_pure_functions
+from repro.passes.gvn import expression_key, make_value_numbering
+
+
+class LocalCSEPass(FunctionPass):
+    """Block-local redundancy elimination with memory forwarding."""
+
+    name = "cse"
+
+    def run_on_function(self, fn: Function, module: Module) -> PassStats:
+        stats = PassStats()
+        pure = get_pure_functions(module)
+        numbering = make_value_numbering(fn)
+        for block in fn.blocks:
+            available: dict[tuple, Instruction] = {}
+            #: address key -> (pointer value, value known to be in the slot)
+            memory: dict[tuple, tuple[Value, Value]] = {}
+            for inst in list(block.instructions):
+                stats.work += 1
+                if isinstance(inst, LoadInst):
+                    addr_key = self._addr_key(inst.ptr, numbering)
+                    entry = memory.get(addr_key)
+                    if entry is not None and entry[1].ty == inst.ty:
+                        inst.replace_with_value(entry[1])
+                        stats.bump("loads_forwarded")
+                        stats.changed = True
+                    else:
+                        memory[addr_key] = (inst.ptr, inst)
+                    continue
+                if isinstance(inst, StoreInst):
+                    # Invalidate only entries the store may alias.
+                    for key, (ptr, _) in list(memory.items()):
+                        if may_alias(ptr, inst.ptr) is not AliasResult.NO_ALIAS:
+                            del memory[key]
+                    memory[self._addr_key(inst.ptr, numbering)] = (inst.ptr, inst.value)
+                    continue
+                if isinstance(inst, CallInst):
+                    if inst.callee not in pure:
+                        for key, (ptr, _) in list(memory.items()):
+                            if _call_may_access(ptr):
+                                del memory[key]
+                    continue
+                key = expression_key(inst, numbering)
+                if key is None:
+                    continue
+                existing = available.get(key)
+                if existing is not None:
+                    inst.replace_with_value(existing)
+                    stats.bump("exprs_removed")
+                    stats.changed = True
+                else:
+                    available[key] = inst
+        return stats
+
+    @staticmethod
+    def _addr_key(ptr: Value, numbering: dict[Value, int]) -> tuple:
+        """Semantic slot key: (root, constant offset) when decomposable,
+
+        so distinct gep instructions addressing the same slot unify;
+        falls back to the syntactic operand key otherwise."""
+        info = classify_pointer(ptr)
+        if info.offset is not None and info.kind != "unknown":
+            root = info.root if isinstance(info.root, str) else numbering.get(info.root, -1)
+            return ("slot", info.kind, root, info.offset)
+        from repro.passes.gvn import _operand_key
+
+        return _operand_key(ptr, numbering)
+
+
+def _call_may_access(ptr: Value) -> bool:
+    """Could unknown callee code read or write through ``ptr``?
+
+    Only locations rooted at an alloca whose address never escapes are
+    provably private to this function.
+    """
+    info = classify_pointer(ptr)
+    if info.kind == "alloca" and isinstance(info.root, AllocaInst):
+        return _address_escapes(info.root)
+    return True

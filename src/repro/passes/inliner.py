@@ -1,0 +1,134 @@
+"""Function inlining (module pass).
+
+Bottom-up over the call graph: leaf callees are considered first so a
+chain ``a -> b -> c`` flattens in one pass.  A call site is inlined when
+the callee is defined in the module, not (transitively) recursive into
+the caller, and small enough (``size_threshold`` IR instructions).
+
+Mechanics: split the caller block at the call, clone the callee body
+between the halves with arguments pre-seeded in the value map, rewrite
+``ret`` into branches to the continuation, and merge return values with
+a phi.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import CallGraph
+from repro.ir.instructions import BrInst, CallInst, PhiInst, RetInst
+from repro.ir.structure import BasicBlock, Function, Module
+from repro.ir.values import UndefValue, Value
+from repro.passes.base import ModulePass, PassStats
+from repro.passes.cloning import clone_blocks
+
+
+class InlinerPass(ModulePass):
+    """Inline small, non-recursive calls."""
+
+    name = "inline"
+
+    def __init__(self, size_threshold: int = 25):
+        self.size_threshold = size_threshold
+
+    def run_on_module(self, module: Module) -> PassStats:
+        stats = PassStats(work=module.num_instructions)
+        graph = CallGraph.build(module)
+        for caller in graph.bottom_up_order():
+            self._inline_into(caller, module, graph, stats)
+        return stats
+
+    def _should_inline(
+        self, caller: Function, callee: Function, graph: CallGraph
+    ) -> bool:
+        if callee.is_declaration:
+            return False
+        if callee.num_instructions > self.size_threshold:
+            return False
+        if callee.name == caller.name:
+            return False
+        # Refuse cycles: inlining something that can call back into the
+        # caller (or itself) would never terminate.
+        reachable = graph.transitively_called_from(callee.name)
+        return callee.name not in reachable and caller.name not in reachable
+
+    def _inline_into(
+        self, caller: Function, module: Module, graph: CallGraph, stats: PassStats
+    ) -> None:
+        # Snapshot call sites: inlining adds blocks but the cloned callee
+        # bodies' calls were already considered via bottom-up ordering.
+        sites = [
+            inst
+            for inst in caller.instructions()
+            if isinstance(inst, CallInst) and inst.parent is not None
+        ]
+        for call in sites:
+            callee = module.get_function(call.callee)
+            if callee is None or not self._should_inline(caller, callee, graph):
+                continue
+            self._inline_site(caller, call, callee)
+            stats.bump("inlined_calls")
+            stats.changed = True
+
+    def _inline_site(self, caller: Function, call: CallInst, callee: Function) -> None:
+        block = call.parent
+        assert block is not None
+        at = block.instructions.index(call)
+
+        # Split: `block` keeps everything before the call; `continuation`
+        # receives everything after it.
+        continuation = caller.add_block(
+            caller.next_name(f"{block.name}.inl"), after=block
+        )
+        trailing = block.instructions[at + 1 :]
+        del block.instructions[at + 1 :]
+        for inst in trailing:
+            inst.parent = continuation
+            continuation.instructions.append(inst)
+        # Successors' phis: the edge source moved to `continuation`.
+        for succ in continuation.successors():
+            for phi in succ.phis:
+                phi.replace_incoming_block(block, continuation)
+
+        # Clone the callee body with arguments bound to call operands.
+        value_map: dict[Value, Value] = dict(zip(callee.args, call.args))
+        block_map = clone_blocks(
+            caller, list(callee.blocks), value_map, name_suffix=caller.next_name("i")
+        )
+
+        # Rewrite cloned rets into branches to the continuation.
+        return_values: list[tuple[Value, BasicBlock]] = []
+        num_returns = 0
+        for clone in block_map.values():
+            term = clone.terminator
+            if isinstance(term, RetInst):
+                num_returns += 1
+                if term.value is not None:
+                    return_values.append((term.value, clone))
+                elif not call.ty.is_void:
+                    return_values.append((UndefValue(call.ty), clone))
+                term.erase()
+                clone.append(BrInst(continuation))
+
+        # Replace the call's value with the merged return value.
+        if not call.ty.is_void:
+            if len(return_values) == 1:
+                call.replace_all_uses_with(return_values[0][0])
+            elif return_values:
+                phi = PhiInst(call.ty, caller.next_name("ret"))
+                continuation.insert(0, phi)
+                for value, from_block in return_values:
+                    phi.add_incoming(value, from_block)
+                call.replace_all_uses_with(phi)
+            else:
+                # Callee never returns (infinite loop / unreachable).
+                call.replace_all_uses_with(UndefValue(call.ty))
+
+        # Remove the call and branch into the inlined entry.
+        call.erase()
+        block.append(BrInst(block_map[callee.entry]))
+
+        # If nothing branches to the continuation (callee never returns),
+        # seal it; simplifycfg/DCE clean up later.
+        if num_returns == 0 and continuation.terminator is None:
+            from repro.ir.instructions import UnreachableInst
+
+            continuation.append(UnreachableInst())

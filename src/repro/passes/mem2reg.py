@@ -1,0 +1,191 @@
+"""mem2reg: promote stack slots to SSA registers.
+
+The classic SSA-construction pass (Cytron et al. via dominance
+frontiers + renaming).  Lowering gives every scalar local an ``alloca``
+with explicit loads/stores; this pass replaces promotable slots with
+SSA values and phis, enabling every later scalar optimization.
+
+A slot is promotable when it is a single slot (size 1) whose address is
+only ever used as the direct pointer of loads and stores — never stored
+itself, passed to a call, or offset by ``gep``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir.instructions import AllocaInst, Instruction, LoadInst, PhiInst, StoreInst
+from repro.ir.structure import BasicBlock, Function, Module
+from repro.ir.types import I64, IRType
+from repro.ir.values import UndefValue, Value
+from repro.passes.base import FunctionPass, PassStats
+from repro.passes.utils import remove_unreachable_blocks
+
+
+def _promotable(alloca: AllocaInst) -> bool:
+    if alloca.size != 1:
+        return False
+    for use in alloca.uses:
+        user = use.user
+        if isinstance(user, LoadInst):
+            continue
+        if isinstance(user, StoreInst) and use.index == 1:  # the pointer slot
+            continue
+        return False
+    return True
+
+
+def _slot_type(alloca: AllocaInst) -> IRType:
+    for use in alloca.uses:
+        user = use.user
+        if isinstance(user, LoadInst):
+            return user.ty
+        if isinstance(user, StoreInst):
+            return user.value.ty
+    return I64
+
+
+class Mem2RegPass(FunctionPass):
+    """Promote allocas to SSA values."""
+
+    name = "mem2reg"
+
+    def run_on_function(self, fn: Function, module: Module) -> PassStats:
+        stats = PassStats(work=fn.num_instructions)
+        # Renaming walks the dominator tree, which covers only reachable
+        # code; drop unreachable blocks first so no stale slot uses survive.
+        removed = remove_unreachable_blocks(fn)
+        if removed:
+            stats.changed = True
+            stats.bump("unreachable_blocks_removed", removed)
+        allocas = [
+            inst
+            for inst in fn.instructions()
+            if isinstance(inst, AllocaInst) and _promotable(inst)
+        ]
+        if not allocas:
+            return stats
+
+        domtree = DominatorTree.compute(fn)
+        frontiers = domtree.dominance_frontiers()
+
+        #: phi -> the alloca it materializes
+        phi_slot: dict[PhiInst, AllocaInst] = {}
+        for alloca in allocas:
+            self._insert_phis(fn, alloca, domtree, frontiers, phi_slot, stats)
+
+        self._rename(fn, allocas, domtree, phi_slot)
+
+        for alloca in allocas:
+            stats.bump("promoted_allocas")
+            alloca.erase()
+        stats.changed = True
+        self._prune_dead_phis(phi_slot, stats)
+        return stats
+
+    # -- phase 1: phi placement at iterated dominance frontiers ----------
+
+    def _insert_phis(
+        self,
+        fn: Function,
+        alloca: AllocaInst,
+        domtree: DominatorTree,
+        frontiers: dict[BasicBlock, set[BasicBlock]],
+        phi_slot: dict[PhiInst, AllocaInst],
+        stats: PassStats,
+    ) -> None:
+        slot_ty = _slot_type(alloca)
+        def_blocks = {
+            use.user.parent
+            for use in alloca.uses
+            if isinstance(use.user, StoreInst) and use.user.parent is not None
+        }
+        # Deterministic worklist order (sets iterate in id order, which
+        # varies between runs; dormancy determinism requires stable names).
+        block_order = {b: i for i, b in enumerate(fn.blocks)}
+        has_phi: set[BasicBlock] = set()
+        worklist = sorted(
+            (b for b in def_blocks if domtree.is_reachable(b)),
+            key=block_order.__getitem__,
+        )
+        while worklist:
+            block = worklist.pop()
+            for frontier_block in sorted(
+                frontiers.get(block, ()), key=block_order.__getitem__
+            ):
+                if frontier_block in has_phi:
+                    continue
+                has_phi.add(frontier_block)
+                phi = PhiInst(slot_ty, fn.next_name("m2r"))
+                frontier_block.insert(0, phi)
+                phi_slot[phi] = alloca
+                stats.bump("phis_inserted")
+                if frontier_block not in def_blocks:
+                    worklist.append(frontier_block)
+
+    # -- phase 2: renaming along the dominator tree ------------------------
+
+    def _rename(
+        self,
+        fn: Function,
+        allocas: list[AllocaInst],
+        domtree: DominatorTree,
+        phi_slot: dict[PhiInst, AllocaInst],
+    ) -> None:
+        alloca_set = set(allocas)
+        stacks: dict[AllocaInst, list[Value]] = {a: [] for a in allocas}
+
+        def current(alloca: AllocaInst) -> Value:
+            stack = stacks[alloca]
+            return stack[-1] if stack else UndefValue(_slot_type(alloca))
+
+        # Iterative dominator-tree DFS with explicit undo log.
+        visit_stack: list[tuple[BasicBlock, bool]] = [(fn.entry, False)]
+        pushed: dict[BasicBlock, list[AllocaInst]] = {}
+        while visit_stack:
+            block, done = visit_stack.pop()
+            if done:
+                for alloca in pushed.get(block, ()):
+                    stacks[alloca].pop()
+                continue
+            visit_stack.append((block, True))
+            pushed[block] = []
+
+            for inst in list(block.instructions):
+                if isinstance(inst, PhiInst) and inst in phi_slot:
+                    stacks[phi_slot[inst]].append(inst)
+                    pushed[block].append(phi_slot[inst])
+                elif isinstance(inst, LoadInst) and inst.ptr in alloca_set:
+                    inst.replace_with_value(current(inst.ptr))  # type: ignore[arg-type]
+                elif isinstance(inst, StoreInst) and inst.ptr in alloca_set:
+                    alloca = inst.ptr
+                    stacks[alloca].append(inst.value)  # type: ignore[index]
+                    pushed[block].append(alloca)  # type: ignore[arg-type]
+                    inst.erase()
+
+            for succ in block.successors():
+                for phi in succ.phis:
+                    alloca = phi_slot.get(phi)
+                    if alloca is not None and phi.incoming_for(block) is None:
+                        phi.add_incoming(current(alloca), block)
+
+            for child in domtree.children.get(block, ()):
+                visit_stack.append((child, False))
+
+    def _prune_dead_phis(self, phi_slot: dict[PhiInst, AllocaInst], stats: PassStats) -> None:
+        """Remove inserted phis that ended up unused (transitively)."""
+        changed = True
+        while changed:
+            changed = False
+            for phi in list(phi_slot):
+                if phi.parent is None:
+                    del phi_slot[phi]
+                    continue
+                users = {u.user for u in phi.uses}
+                if not users or users == {phi}:
+                    phi.replace_all_uses_with(UndefValue(phi.ty))
+                    phi.erase()
+                    del phi_slot[phi]
+                    stats.bump("dead_phis_pruned")
+                    changed = True

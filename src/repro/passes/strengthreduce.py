@@ -1,0 +1,53 @@
+"""Strength reduction: multiplication by powers of two becomes shifts.
+
+``x * 2^k`` → ``x << k`` (and, via instsimplify's canonicalization,
+``2^k * x`` too).  Signed division/remainder are *not* reduced: on a
+two's-complement machine ``sdiv x, 2^k`` is not ``ashr x, k`` for
+negative ``x``, and the branch-free correction sequence trades one
+instruction for four — a bad deal under this VM's uniform cost model
+(real backends make that trade because division is 20x slower; ours is
+not).
+
+On canonicalized IR, re-runs find nothing — another usually-dormant
+pass, which is exactly what the stateful compiler monetizes.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import BinaryInst, Opcode
+from repro.ir.structure import Function, Module
+from repro.ir.values import ConstantInt, const_i64
+from repro.passes.base import FunctionPass, PassStats
+
+
+def _power_of_two_log(value: int) -> int | None:
+    """k when value == 2**k (k in 1..62), else None."""
+    if value <= 1 or value & (value - 1):
+        return None
+    return value.bit_length() - 1
+
+
+class StrengthReducePass(FunctionPass):
+    """Replace multiplications by powers of two with shifts."""
+
+    name = "strengthreduce"
+
+    def run_on_function(self, fn: Function, module: Module) -> PassStats:
+        stats = PassStats()
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                stats.work += 1
+                if not isinstance(inst, BinaryInst) or inst.opcode is not Opcode.MUL:
+                    continue
+                rhs = inst.rhs
+                if not isinstance(rhs, ConstantInt):
+                    continue
+                k = _power_of_two_log(rhs.value)
+                if k is None:
+                    continue
+                shift = BinaryInst(Opcode.SHL, inst.lhs, const_i64(k), fn.next_name("sr"))
+                block.insert_before(inst, shift)
+                inst.replace_with_value(shift)
+                stats.bump("muls_to_shifts")
+                stats.changed = True
+        return stats

@@ -1,0 +1,22 @@
+"""Pass pipeline management and execution tracing."""
+
+from repro.passmanager.events import PassEvent, PassEventLog
+from repro.passmanager.manager import PassManager
+from repro.passmanager.pipeline import (
+    PassPipeline,
+    build_pipeline,
+    O0_PIPELINE,
+    O1_PIPELINE,
+    O2_PIPELINE,
+)
+
+__all__ = [
+    "PassEvent",
+    "PassEventLog",
+    "PassManager",
+    "PassPipeline",
+    "build_pipeline",
+    "O0_PIPELINE",
+    "O1_PIPELINE",
+    "O2_PIPELINE",
+]

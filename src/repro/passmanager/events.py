@@ -1,0 +1,80 @@
+"""Pass-execution event log.
+
+Every pass execution (or bypass) on every function is recorded; the
+dormancy experiments, pass-time breakdowns, and overhead accounting all
+read this log.  ``work`` is the deterministic cost model (instructions
+visited); ``wall_time`` is measured but noisy at micro scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PassEvent:
+    """One pass execution or bypass on one function."""
+
+    module: str
+    function: str
+    position: int
+    pass_name: str
+    changed: bool
+    skipped: bool
+    work: int
+    wall_time: float
+    fingerprint_in: str = ""
+    detail: tuple = ()
+
+    @property
+    def dormant(self) -> bool:
+        """Executed but made no change (the paper's 'dormant' execution)."""
+        return not self.skipped and not self.changed
+
+
+@dataclass
+class PassEventLog:
+    """Accumulates events for one compilation."""
+
+    events: list[PassEvent] = field(default_factory=list)
+
+    def record(self, event: PassEvent) -> None:
+        self.events.append(event)
+
+    # -- aggregate queries -------------------------------------------------
+
+    def executed(self) -> list[PassEvent]:
+        return [e for e in self.events if not e.skipped]
+
+    def skipped(self) -> list[PassEvent]:
+        return [e for e in self.events if e.skipped]
+
+    def dormant(self) -> list[PassEvent]:
+        return [e for e in self.events if e.dormant]
+
+    @property
+    def total_work(self) -> int:
+        return sum(e.work for e in self.events)
+
+    @property
+    def total_time(self) -> float:
+        return sum(e.wall_time for e in self.events)
+
+    def dormancy_by_pass(self) -> dict[str, tuple[int, int]]:
+        """pass name -> (dormant executions, total executions)."""
+        out: dict[str, tuple[int, int]] = {}
+        for event in self.events:
+            if event.skipped:
+                continue
+            dormant, total = out.get(event.pass_name, (0, 0))
+            out[event.pass_name] = (dormant + (1 if event.dormant else 0), total + 1)
+        return out
+
+    def work_by_pass(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.pass_name] = out.get(event.pass_name, 0) + event.work
+        return out
+
+    def extend(self, other: "PassEventLog") -> None:
+        self.events.extend(other.events)

@@ -1,0 +1,127 @@
+"""Pass manager: executes a pipeline over a module, recording events.
+
+This is the *stateless* manager — every pass runs on every function,
+exactly what a conventional compiler does.  The stateful variant
+(:class:`repro.core.stateful.StatefulPassManager`) subclasses this and
+overrides the single decision point :meth:`should_skip` /
+:meth:`on_pass_executed`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ir.structure import Function, Module
+from repro.ir.verifier import verify_module
+from repro.passmanager.events import PassEvent, PassEventLog
+from repro.passmanager.pipeline import PassPipeline
+
+
+class PassManager:
+    """Runs a pipeline over modules.
+
+    Parameters
+    ----------
+    pipeline:
+        The optimization plan.
+    verify_each:
+        Verify the whole module after every pass — slow; enabled in
+        tests to catch pass bugs at their source.
+    """
+
+    def __init__(self, pipeline: PassPipeline, *, verify_each: bool = False):
+        self.pipeline = pipeline
+        self.verify_each = verify_each
+        self.log = PassEventLog()
+
+    # -- hooks the stateful subclass overrides -----------------------------
+
+    def begin_function(self, fn: Function, module: Module) -> None:
+        """Called before the function pipeline starts on ``fn``."""
+
+    def should_skip(self, fn: Function, module: Module, position: int) -> bool:
+        """Decide whether to bypass the pass at ``position`` for ``fn``."""
+        return False
+
+    def on_pass_executed(
+        self, fn: Function, module: Module, position: int, changed: bool
+    ) -> None:
+        """Called after the pass at ``position`` ran on ``fn``."""
+
+    def end_function(self, fn: Function, module: Module) -> None:
+        """Called after the function pipeline finishes on ``fn``."""
+
+    def fingerprint_for_event(self, fn: Function) -> str:
+        """Fingerprint recorded in events (stateful manager overrides
+
+        to reuse its cached value; stateless manager records none)."""
+        return ""
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, module: Module) -> PassEventLog:
+        """Run prelude + function pipeline over ``module``."""
+        for module_pass in self.pipeline.module_prelude:
+            start = time.perf_counter()
+            stats = module_pass.run_on_module(module)
+            elapsed = time.perf_counter() - start
+            self.log.record(
+                PassEvent(
+                    module=module.name,
+                    function="<module>",
+                    position=-1,
+                    pass_name=module_pass.name,
+                    changed=stats.changed,
+                    skipped=False,
+                    work=stats.work,
+                    wall_time=elapsed,
+                    detail=tuple(sorted(stats.detail.items())),
+                )
+            )
+            if self.verify_each:
+                verify_module(module)
+
+        for fn in sorted(module.defined_functions(), key=lambda f: f.name):
+            self._run_function_pipeline(fn, module)
+        return self.log
+
+    def _run_function_pipeline(self, fn: Function, module: Module) -> None:
+        self.begin_function(fn, module)
+        for position, function_pass in enumerate(self.pipeline.function_passes):
+            fingerprint = self.fingerprint_for_event(fn)
+            if self.should_skip(fn, module, position):
+                self.log.record(
+                    PassEvent(
+                        module=module.name,
+                        function=fn.name,
+                        position=position,
+                        pass_name=function_pass.name,
+                        changed=False,
+                        skipped=True,
+                        work=0,
+                        wall_time=0.0,
+                        fingerprint_in=fingerprint,
+                    )
+                )
+                continue
+            start = time.perf_counter()
+            stats = function_pass.run_on_function(fn, module)
+            elapsed = time.perf_counter() - start
+            self.on_pass_executed(fn, module, position, stats.changed)
+            self.log.record(
+                PassEvent(
+                    module=module.name,
+                    function=fn.name,
+                    position=position,
+                    pass_name=function_pass.name,
+                    changed=stats.changed,
+                    skipped=False,
+                    work=stats.work,
+                    wall_time=elapsed,
+                    fingerprint_in=fingerprint,
+                    detail=tuple(sorted(stats.detail.items())),
+                )
+            )
+            if self.verify_each:
+                verify_module(module)
+        self.end_function(fn, module)

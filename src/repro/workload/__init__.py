@@ -1,0 +1,46 @@
+"""Workloads: synthetic projects and edit models.
+
+The paper evaluates on real-world C++ projects rebuilt across developer
+edits.  This package provides the substitution (documented in
+DESIGN.md): a deterministic project generator whose output has the
+statistical properties the paper's mechanism exploits — many functions
+per file, heavy-tailed function sizes, header-induced rebuild
+amplification — plus edit models covering the edit classes developers
+make (body edits, constant tweaks, signature-neutral additions, header
+edits, comment-only changes).
+
+Everything is seed-deterministic: the same spec always generates the
+same project, and an edit regenerates exactly the files it touches.
+"""
+
+from repro.workload.edits import (
+    Edit,
+    EditKind,
+    apply_edit,
+    random_edit,
+    random_edit_sequence,
+)
+from repro.workload.generator import generate_project
+from repro.workload.project import Project
+from repro.workload.spec import (
+    FunctionSpec,
+    ModuleSpec,
+    ProjectSpec,
+    make_preset,
+    PRESETS,
+)
+
+__all__ = [
+    "Edit",
+    "EditKind",
+    "apply_edit",
+    "random_edit",
+    "random_edit_sequence",
+    "generate_project",
+    "Project",
+    "FunctionSpec",
+    "ModuleSpec",
+    "ProjectSpec",
+    "make_preset",
+    "PRESETS",
+]

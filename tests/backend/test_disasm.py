@@ -1,0 +1,70 @@
+"""Disassembler tests."""
+
+from repro.backend.disasm import disassemble_image, disassemble_object
+from repro.backend.linker import link
+from repro.backend.objfile import compile_module_to_object
+from tests.conftest import lower
+
+
+def sample_object():
+    return compile_module_to_object(
+        lower(
+            """
+            int g = 7;
+            int table[3];
+            int add(int a, int b) { return a + b; }
+            int main() { print(add(g, table[0])); return 0; }
+            """
+        )
+    )
+
+
+class TestDisassembleObject:
+    def test_lists_globals_and_functions(self):
+        text = disassemble_object(sample_object())
+        assert "@g (1 slots) = [7]" in text
+        assert "@table (3 slots)" in text
+        assert "func @add" in text and "func @main" in text
+
+    def test_external_global_marked(self):
+        obj = compile_module_to_object(
+            lower(
+                'include "h.mh";\nint main() { return e; }',
+                {"h.mh": "extern int e;"},
+            )
+        )
+        assert "extern @e" in disassemble_object(obj)
+
+    def test_instructions_rendered(self):
+        text = disassemble_object(sample_object())
+        assert "getparam" in text
+        assert "call @add" in text or "call @print" in text
+        assert "ret" in text
+
+
+class TestDisassembleImage:
+    def test_entries_and_layout(self):
+        image = link([sample_object()])
+        text = disassemble_image(image)
+        assert "@main:" in text and "@add:" in text
+        assert "data layout:" in text
+        assert "@g" in text
+        # Every code line carries its absolute index.
+        assert "    0: " in text
+
+    def test_branch_targets_absolute(self):
+        obj = compile_module_to_object(
+            lower("int main() { int s = 0; while (s < 3) s++; return s; }")
+        )
+        text = disassemble_image(link([obj]))
+        assert "br -> " in text or "cbr r" in text
+
+
+class TestReprocDisasmFlag:
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.cli import reproc_main
+
+        (tmp_path / "p.mc").write_text("int main() { return 2 + 3; }")
+        assert reproc_main([str(tmp_path / "p.mc"), "--disasm"]) == 0
+        out = capsys.readouterr().out
+        assert "func @main" in out

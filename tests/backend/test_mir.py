@@ -1,0 +1,55 @@
+"""MIR rendering and structure tests."""
+
+from repro.backend.mir import MachineFunction, MInst, MOp, NUM_PHYS_REGS
+
+
+class TestRender:
+    def test_li(self):
+        assert MInst(MOp.LI, [3], imm=-7).render() == "li r3, -7"
+
+    def test_cmp_with_predicate(self):
+        assert MInst(MOp.CMP, [0, 1, 2], extra="slt").render() == "cmp.slt r0,r1,r2"
+
+    def test_lea(self):
+        assert MInst(MOp.LEA, [4], extra="glob").render() == "lea r4, @glob"
+
+    def test_frame(self):
+        assert MInst(MOp.FRAME, [2], imm=5).render() == "frame r2, 5"
+
+    def test_call_with_and_without_dest(self):
+        assert MInst(MOp.CALL, [3], imm=2, extra="f").render() == "r3 = call @f/2"
+        assert MInst(MOp.CALL, [-1], imm=0, extra="g").render() == "call @g/0"
+
+    def test_getparam(self):
+        assert MInst(MOp.GETPARAM, [1], imm=0).render() == "getparam r1, 0"
+
+    def test_spill_reload(self):
+        assert MInst(MOp.SPILL, [5], imm=3).render() == "spill r5, [3]"
+        assert MInst(MOp.RELOAD, [5], imm=3).render() == "reload r5, [3]"
+
+    def test_branches(self):
+        assert MInst(MOp.BR, extra="f.exit").render() == "br f.exit"
+        assert MInst(MOp.CBR, [2], extra="a b").render() == "cbr r2, a b"
+
+    def test_ret(self):
+        assert MInst(MOp.RET, [7]).render() == "ret r7"
+        assert MInst(MOp.RET, [-1]).render() == "ret"
+
+    def test_label(self):
+        assert MInst(MOp.LABEL, extra="f.entry").render() == "f.entry:"
+
+
+class TestMachineFunction:
+    def test_render_and_counts(self):
+        mf = MachineFunction("f", num_params=1, frame_size=2)
+        mf.code = [
+            MInst(MOp.LABEL, extra="f.entry"),
+            MInst(MOp.GETPARAM, [0], imm=0),
+            MInst(MOp.RET, [0]),
+        ]
+        text = mf.render()
+        assert text.splitlines()[0] == "func @f params=1 frame=2"
+        assert mf.num_instructions == 2  # labels excluded
+
+    def test_phys_reg_budget(self):
+        assert NUM_PHYS_REGS == 16

@@ -1,0 +1,102 @@
+"""Statistics and pass-event log tests."""
+
+from repro.core.statistics import BypassStatistics, summarize_log
+from repro.passmanager.events import PassEvent, PassEventLog
+from repro.passmanager.pipeline import build_pipeline
+
+
+def event(**kwargs):
+    defaults = dict(
+        module="m",
+        function="f",
+        position=0,
+        pass_name="p",
+        changed=False,
+        skipped=False,
+        work=10,
+        wall_time=0.001,
+    )
+    defaults.update(kwargs)
+    return PassEvent(**defaults)
+
+
+class TestPassEventLog:
+    def test_dormant_classification(self):
+        assert event(changed=False, skipped=False).dormant
+        assert not event(changed=True).dormant
+        assert not event(skipped=True).dormant
+
+    def test_aggregates(self):
+        log = PassEventLog()
+        log.record(event(pass_name="a", changed=True, work=5))
+        log.record(event(pass_name="a", changed=False, work=3))
+        log.record(event(pass_name="b", skipped=True, work=0))
+        assert len(log.executed()) == 2
+        assert len(log.skipped()) == 1
+        assert len(log.dormant()) == 1
+        assert log.total_work == 8
+        assert log.dormancy_by_pass() == {"a": (1, 2)}
+        assert log.work_by_pass() == {"a": 8, "b": 0}
+
+    def test_extend(self):
+        a, b = PassEventLog(), PassEventLog()
+        a.record(event())
+        b.record(event())
+        a.extend(b)
+        assert len(a.events) == 2
+
+
+class TestSummarize:
+    def test_module_prelude_excluded(self):
+        log = PassEventLog()
+        log.record(event(position=-1, pass_name="inline", changed=True))
+        log.record(event(position=0, changed=False))
+        stats = summarize_log(log)
+        assert stats.executions == 1
+        assert "inline" not in stats.by_pass
+
+    def test_ratios(self):
+        log = PassEventLog()
+        log.record(event(position=0, changed=False))
+        log.record(event(position=1, changed=True))
+        log.record(event(position=2, skipped=True))
+        log.record(event(position=3, skipped=True))
+        stats = summarize_log(log)
+        assert stats.dormancy_ratio == 0.5
+        assert stats.bypass_ratio == 0.5
+
+    def test_empty(self):
+        stats = summarize_log(PassEventLog())
+        assert stats.dormancy_ratio == 0.0 and stats.bypass_ratio == 0.0
+
+    def test_merge(self):
+        a = BypassStatistics(executions=2, dormant_executions=1, bypassed=3, work_executed=10)
+        a.by_pass["x"] = {"executed": 2, "dormant": 1, "bypassed": 3, "work": 10}
+        b = BypassStatistics(executions=1, dormant_executions=0, bypassed=1, work_executed=5)
+        b.by_pass["x"] = {"executed": 1, "dormant": 0, "bypassed": 1, "work": 5}
+        a.merge(b)
+        assert a.executions == 3 and a.bypassed == 4 and a.work_executed == 15
+        assert a.by_pass["x"]["work"] == 15
+
+
+class TestPipelines:
+    def test_position_names_stable(self):
+        p = build_pipeline("O2")
+        names = p.position_names()
+        assert len(names) == p.num_function_passes
+        assert names[0] == "0:mem2reg"
+        assert names == build_pipeline("O2").position_names()
+
+    def test_levels_differ(self):
+        assert build_pipeline("O0").num_function_passes < build_pipeline("O1").num_function_passes
+        assert build_pipeline("O1").num_function_passes < build_pipeline("O2").num_function_passes
+
+    def test_unknown_level(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            build_pipeline("O3")
+
+    def test_describe(self):
+        text = build_pipeline("O1").describe()
+        assert "mem2reg" in text and "funcattrs" in text

@@ -1,0 +1,66 @@
+"""Diagnostic engine tests."""
+
+import pytest
+
+from repro.frontend.diagnostics import CompileError, Diagnostic, DiagnosticEngine, Severity
+from repro.frontend.source import SourceFile, SourceSpan
+
+
+def make_span(text: str, start: int, end: int) -> SourceSpan:
+    return SourceSpan(SourceFile("f.mc", text), start, end)
+
+
+class TestDiagnosticEngine:
+    def test_error_collection(self):
+        diags = DiagnosticEngine()
+        diags.error("bad thing")
+        diags.warning("iffy thing")
+        diags.note("fyi")
+        assert diags.has_errors
+        assert len(diags.errors) == 1
+        assert len(diags.diagnostics) == 3
+
+    def test_no_errors(self):
+        diags = DiagnosticEngine()
+        diags.warning("just a warning")
+        assert not diags.has_errors
+        diags.check()  # should not raise
+
+    def test_check_raises_with_errors(self):
+        diags = DiagnosticEngine()
+        diags.error("e1")
+        diags.error("e2")
+        with pytest.raises(CompileError) as exc:
+            diags.check()
+        assert len(exc.value.diagnostics) == 2
+
+    def test_compile_error_summary_truncates(self):
+        errors = [Diagnostic(Severity.ERROR, f"e{i}") for i in range(8)]
+        exc = CompileError(errors)
+        assert "+3 more" in str(exc)
+
+
+class TestRendering:
+    def test_render_with_snippet(self):
+        span = make_span("int x = $;", 8, 9)
+        diag = Diagnostic(Severity.ERROR, "unexpected character", span)
+        rendered = diag.render()
+        assert "f.mc:1:9: error: unexpected character" in rendered
+        assert "int x = $;" in rendered
+        assert rendered.splitlines()[-1].strip() == "^"
+
+    def test_render_multichar_caret(self):
+        span = make_span("return foobar;", 7, 13)
+        rendered = Diagnostic(Severity.WARNING, "w", span).render()
+        assert "^~~~~~" in rendered
+
+    def test_render_without_span(self):
+        diag = Diagnostic(Severity.NOTE, "general note")
+        assert diag.render() == "note: general note"
+
+    def test_render_all(self):
+        diags = DiagnosticEngine()
+        diags.error("a")
+        diags.warning("b")
+        out = diags.render_all()
+        assert "error: a" in out and "warning: b" in out

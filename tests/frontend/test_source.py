@@ -1,0 +1,84 @@
+"""Tests for source files, spans, and the source manager."""
+
+import pytest
+
+from repro.frontend.source import SourceFile, SourceManager, SourceSpan
+
+
+class TestSourceFile:
+    def test_line_col_first_char(self):
+        sf = SourceFile("a.mc", "hello\nworld\n")
+        assert sf.line_col(0) == (1, 1)
+
+    def test_line_col_second_line(self):
+        sf = SourceFile("a.mc", "hello\nworld\n")
+        assert sf.line_col(6) == (2, 1)
+        assert sf.line_col(8) == (2, 3)
+
+    def test_line_col_past_end_clamps(self):
+        sf = SourceFile("a.mc", "ab")
+        assert sf.line_col(999) == (1, 3)
+
+    def test_line_col_negative_raises(self):
+        sf = SourceFile("a.mc", "ab")
+        with pytest.raises(ValueError):
+            sf.line_col(-1)
+
+    def test_line_text(self):
+        sf = SourceFile("a.mc", "first\nsecond\nthird")
+        assert sf.line_text(1) == "first"
+        assert sf.line_text(2) == "second"
+        assert sf.line_text(3) == "third"
+
+    def test_line_text_out_of_range(self):
+        sf = SourceFile("a.mc", "one")
+        with pytest.raises(ValueError):
+            sf.line_text(5)
+
+    def test_num_lines(self):
+        assert SourceFile("a", "a\nb\nc").num_lines == 3
+        assert SourceFile("a", "").num_lines == 1
+
+    def test_empty_file_line_col(self):
+        sf = SourceFile("a", "")
+        assert sf.line_col(0) == (1, 1)
+
+
+class TestSourceSpan:
+    def test_text_property(self):
+        sf = SourceFile("a", "int main() {}")
+        span = SourceSpan(sf, 4, 8)
+        assert span.text == "main"
+
+    def test_describe(self):
+        sf = SourceFile("f.mc", "x\nyz")
+        assert SourceSpan(sf, 2, 3).describe() == "f.mc:2:1"
+
+    def test_merge_same_file(self):
+        sf = SourceFile("a", "abcdef")
+        merged = SourceSpan(sf, 1, 2).merge(SourceSpan(sf, 4, 5))
+        assert (merged.start, merged.end) == (1, 5)
+
+    def test_merge_different_files_keeps_first(self):
+        a, b = SourceFile("a", "xx"), SourceFile("b", "yy")
+        span = SourceSpan(a, 0, 1)
+        assert span.merge(SourceSpan(b, 0, 2)) == span
+
+
+class TestSourceManager:
+    def test_add_and_get(self):
+        mgr = SourceManager()
+        sf = mgr.add("a.mc", "text")
+        assert mgr.get("a.mc") is sf
+        assert "a.mc" in mgr
+        assert len(mgr) == 1
+
+    def test_replace(self):
+        mgr = SourceManager()
+        mgr.add("a.mc", "old")
+        new = mgr.add("a.mc", "new")
+        assert mgr.get("a.mc") is new
+        assert mgr.get("a.mc").text == "new"
+
+    def test_get_missing(self):
+        assert SourceManager().get("nope") is None

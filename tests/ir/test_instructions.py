@@ -1,0 +1,206 @@
+"""Instruction semantics tests: eval helpers, phi edges, terminators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    BasicBlock,
+    BrInst,
+    CBrInst,
+    CallInst,
+    FunctionSig,
+    I1,
+    I64,
+    ICmpPred,
+    Opcode,
+    PhiInst,
+    RetInst,
+    const_i1,
+    const_i64,
+    eval_binary,
+    eval_icmp,
+    wrap_i64,
+)
+from repro.ir.instructions import AllocaInst, EvalTrap
+
+i64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+class TestWrapI64:
+    @given(i64s)
+    def test_identity_in_range(self, x):
+        assert wrap_i64(x) == x
+
+    @given(st.integers())
+    def test_always_in_range(self, x):
+        w = wrap_i64(x)
+        assert -(2**63) <= w < 2**63
+
+    @given(st.integers(), st.integers())
+    def test_congruent_mod_2_64(self, x, y):
+        assert wrap_i64(x + y) == wrap_i64(wrap_i64(x) + wrap_i64(y))
+
+
+class TestEvalBinary:
+    @given(i64s, i64s)
+    def test_add_matches_wrapping(self, a, b):
+        assert eval_binary(Opcode.ADD, a, b) == wrap_i64(a + b)
+
+    @given(i64s, i64s)
+    def test_sub_mul_wrap(self, a, b):
+        assert eval_binary(Opcode.SUB, a, b) == wrap_i64(a - b)
+        assert eval_binary(Opcode.MUL, a, b) == wrap_i64(a * b)
+
+    def test_division_truncates_toward_zero(self):
+        assert eval_binary(Opcode.SDIV, 7, 2) == 3
+        assert eval_binary(Opcode.SDIV, -7, 2) == -3
+        assert eval_binary(Opcode.SDIV, 7, -2) == -3
+        assert eval_binary(Opcode.SDIV, -7, -2) == 3
+
+    def test_remainder_sign_follows_dividend(self):
+        assert eval_binary(Opcode.SREM, 7, 3) == 1
+        assert eval_binary(Opcode.SREM, -7, 3) == -1
+        assert eval_binary(Opcode.SREM, 7, -3) == 1
+
+    @given(i64s, st.integers(min_value=-(2**63), max_value=-1) | st.integers(min_value=1, max_value=2**63 - 1))
+    def test_div_rem_identity(self, a, b):
+        q = eval_binary(Opcode.SDIV, a, b)
+        r = eval_binary(Opcode.SREM, a, b)
+        assert wrap_i64(q * b + r) == a
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(EvalTrap):
+            eval_binary(Opcode.SDIV, 1, 0)
+        with pytest.raises(EvalTrap):
+            eval_binary(Opcode.SREM, 1, 0)
+
+    def test_shift_masks_to_six_bits(self):
+        assert eval_binary(Opcode.SHL, 1, 64) == 1
+        assert eval_binary(Opcode.SHL, 1, 65) == 2
+        assert eval_binary(Opcode.ASHR, -8, 1) == -4
+
+    @given(i64s, i64s)
+    def test_bitwise(self, a, b):
+        assert eval_binary(Opcode.AND, a, b) == wrap_i64(a & b)
+        assert eval_binary(Opcode.OR, a, b) == wrap_i64(a | b)
+        assert eval_binary(Opcode.XOR, a, b) == wrap_i64(a ^ b)
+
+
+class TestEvalICmp:
+    @given(i64s, i64s)
+    def test_all_predicates(self, a, b):
+        assert eval_icmp(ICmpPred.EQ, a, b) == (a == b)
+        assert eval_icmp(ICmpPred.NE, a, b) == (a != b)
+        assert eval_icmp(ICmpPred.SLT, a, b) == (a < b)
+        assert eval_icmp(ICmpPred.SLE, a, b) == (a <= b)
+        assert eval_icmp(ICmpPred.SGT, a, b) == (a > b)
+        assert eval_icmp(ICmpPred.SGE, a, b) == (a >= b)
+
+    @given(i64s, i64s)
+    def test_swap_consistency(self, a, b):
+        for pred in ICmpPred:
+            assert eval_icmp(pred, a, b) == eval_icmp(pred.swap(), b, a)
+
+    @given(i64s, i64s)
+    def test_invert_consistency(self, a, b):
+        for pred in ICmpPred:
+            assert eval_icmp(pred, a, b) != eval_icmp(pred.invert(), a, b)
+
+
+class TestPhi:
+    def test_add_and_query_incoming(self):
+        b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+        phi = PhiInst(I64, "p")
+        phi.add_incoming(const_i64(1), b1)
+        phi.add_incoming(const_i64(2), b2)
+        assert phi.incoming_for(b1).value == 1
+        assert phi.incoming_for(b2).value == 2
+        assert phi.incoming_for(BasicBlock("other")) is None
+
+    def test_remove_incoming_reindexes_uses(self):
+        b1, b2, b3 = BasicBlock("b1"), BasicBlock("b2"), BasicBlock("b3")
+        phi = PhiInst(I64, "p")
+        v = const_i64(9)
+        phi.add_incoming(const_i64(1), b1)
+        phi.add_incoming(v, b2)
+        phi.add_incoming(const_i64(3), b3)
+        phi.remove_incoming(b1)
+        assert phi.incoming_for(b2) is not None
+        assert len(phi.operands) == 2
+        # Use indices must still be consistent.
+        for i, op in enumerate(phi.operands):
+            assert any(u.user is phi and u.index == i for u in op.uses)
+
+    def test_set_incoming_for(self):
+        b1 = BasicBlock("b1")
+        phi = PhiInst(I64, "p")
+        phi.add_incoming(const_i64(1), b1)
+        phi.set_incoming_for(b1, const_i64(7))
+        assert phi.incoming_for(b1).value == 7
+
+    def test_set_incoming_missing_raises(self):
+        phi = PhiInst(I64, "p")
+        with pytest.raises(ValueError):
+            phi.set_incoming_for(BasicBlock("x"), const_i64(1))
+
+    def test_replace_incoming_block(self):
+        b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+        phi = PhiInst(I64, "p")
+        phi.add_incoming(const_i64(1), b1)
+        phi.replace_incoming_block(b1, b2)
+        assert phi.incoming_for(b2) is not None
+        assert phi.incoming_for(b1) is None
+
+
+class TestTerminators:
+    def test_br_successors(self):
+        target = BasicBlock("t")
+        br = BrInst(target)
+        assert br.successors() == (target,)
+        other = BasicBlock("o")
+        br.replace_successor(target, other)
+        assert br.successors() == (other,)
+
+    def test_cbr_successors(self):
+        t, f = BasicBlock("t"), BasicBlock("f")
+        cbr = CBrInst(const_i1(True), t, f)
+        assert cbr.successors() == (t, f)
+        n = BasicBlock("n")
+        cbr.replace_successor(t, n)
+        assert cbr.successors() == (n, f)
+
+    def test_cbr_replace_both(self):
+        t = BasicBlock("t")
+        cbr = CBrInst(const_i1(True), t, t)
+        n = BasicBlock("n")
+        cbr.replace_successor(t, n)
+        assert cbr.successors() == (n, n)
+
+    def test_ret_value(self):
+        assert RetInst().value is None
+        assert RetInst(const_i64(3)).value.value == 3
+
+    def test_terminator_classification(self):
+        assert RetInst().is_terminator
+        assert BrInst(BasicBlock("x")).is_terminator
+        assert not AllocaInst(1, "a").is_terminator
+
+
+class TestCall:
+    def test_arity_checked(self):
+        sig = FunctionSig((I64, I64), I64)
+        with pytest.raises(ValueError):
+            CallInst("f", sig, [const_i64(1)])
+
+    def test_call_fields(self):
+        sig = FunctionSig((I64,), I1)
+        call = CallInst("pred", sig, [const_i64(1)], "r")
+        assert call.callee == "pred" and call.ty is I1
+        assert call.args == (const_i64(1),)
+
+
+class TestAlloca:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            AllocaInst(0)
+        assert AllocaInst(4, "a").size == 4

@@ -1,0 +1,151 @@
+"""Textual IR round-trip tests (printer <-> parser)."""
+
+import pytest
+
+from repro.ir import (
+    IRParseError,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from tests.conftest import lower
+
+
+SAMPLE = """module sample
+global @g : 2 = [10, 20]
+extern global @ext : 1
+declare @print : void(i64)
+define @loop(i64 %n) -> i64 {
+^entry:
+  br ^header
+^header:
+  %i = phi i64 [0, ^entry], [%i2, ^body]
+  %acc = phi i64 [0, ^entry], [%acc2, ^body]
+  %c = icmp slt %i, %n
+  cbr %c, ^body, ^exit
+^body:
+  %acc2 = add i64 %acc, %i
+  %i2 = add i64 %i, 1
+  br ^header
+^exit:
+  %v = load i64 @g
+  %t = add i64 %acc, %v
+  ret %t
+}
+"""
+
+
+class TestRoundTrip:
+    def test_sample_round_trips(self):
+        module = parse_module(SAMPLE)
+        verify_module(module)
+        printed = print_module(module)
+        module2 = parse_module(printed)
+        verify_module(module2)
+        assert print_module(module2) == printed
+
+    def test_lowered_module_round_trips(self):
+        module = lower(
+            """
+            int g = 3;
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() {
+              int a[4];
+              for (int i = 0; i < 4; ++i) a[i] = fib(i) + g;
+              bool ok = a[3] > 0 && a[0] == 3;
+              print(ok ? a[3] : 0 - 1);
+              return 0;
+            }
+            """
+        )
+        printed = print_module(module)
+        reparsed = parse_module(printed)
+        verify_module(reparsed)
+        assert print_module(reparsed) == printed
+
+    def test_all_instruction_kinds_round_trip(self):
+        text = """module kinds
+define @f(i64 %a, i1 %b) -> i64 {
+^entry:
+  %p = alloca 4
+  store %a, %p
+  %q = gep %p, 1
+  %v = load i64 %q
+  %z = zext %b
+  %t = trunc %v
+  %s = select %t, %v, %z
+  %c = icmp sge %s, 0
+  %d0 = add i64 %v, %z
+  %d1 = sub i64 %d0, 1
+  %d2 = mul i64 %d1, 2
+  %d3 = sdiv i64 %d2, 3
+  %d4 = srem i64 %d3, 5
+  %d5 = shl i64 %d4, 1
+  %d6 = ashr i64 %d5, 1
+  %d7 = and i64 %d6, 15
+  %d8 = or i64 %d7, 1
+  %d9 = xor i64 %d8, 255
+  %r = call @callee(%d9) : i64(i64)
+  cbr %c, ^a, ^b
+^a:
+  ret %r
+^b:
+  unreachable
+}
+declare @callee : i64(i64)
+"""
+        module = parse_module(text)
+        verify_module(module)
+        assert print_module(parse_module(print_module(module))) == print_module(module)
+
+    def test_negative_constants(self):
+        text = "module m\ndefine @f() -> i64 {\n^e:\n  %x = add i64 -5, -10\n  ret %x\n}\n"
+        module = parse_module(text)
+        printed = print_module(module)
+        assert "-5" in printed and "-10" in printed
+
+
+class TestParserErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(IRParseError, match="unknown opcode"):
+            parse_module("module m\ndefine @f() -> i64 {\n^e:\n  %x = bogus 1\n  ret %x\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(IRParseError, match="unterminated"):
+            parse_module("module m\ndefine @f() -> i64 {\n^e:\n  ret 0\n")
+
+    def test_undefined_value_reference(self):
+        with pytest.raises(IRParseError, match="undefined values"):
+            parse_module("module m\ndefine @f() -> i64 {\n^e:\n  ret %nope\n}")
+
+    def test_duplicate_value_name(self):
+        text = "module m\ndefine @f() -> i64 {\n^e:\n  %x = add i64 1, 2\n  %x = add i64 3, 4\n  ret %x\n}"
+        with pytest.raises(IRParseError, match="redefinition"):
+            parse_module(text)
+
+    def test_instruction_before_label(self):
+        with pytest.raises(IRParseError, match="before any block"):
+            parse_module("module m\ndefine @f() -> i64 {\n  ret 0\n}")
+
+    def test_call_arity_mismatch(self):
+        text = 'module m\ndefine @f() -> i64 {\n^e:\n  %r = call @g(1, 2) : i64(i64)\n  ret %r\n}'
+        with pytest.raises(IRParseError, match="arity"):
+            parse_module(text)
+
+    def test_bad_top_level(self):
+        with pytest.raises(IRParseError, match="unrecognized"):
+            parse_module("module m\nwhatever")
+
+    def test_comments_and_blanks_allowed(self):
+        text = "module m\n# a comment\n\ndefine @f() -> i64 {\n^e:\n  # inner comment\n  ret 0\n}\n"
+        module = parse_module(text)
+        assert module.get_function("f") is not None
+
+
+class TestNameCounterSync:
+    def test_new_names_do_not_collide_after_parse(self):
+        module = parse_module(SAMPLE)
+        fn = module.functions["loop"]
+        existing = {i.name for i in fn.instructions()}
+        for _ in range(5):
+            assert fn.next_name() not in existing

@@ -1,0 +1,153 @@
+"""instsimplify tests: folding, identities, canonicalization."""
+
+from repro.ir import (
+    ConstantInt,
+    ICmpPred,
+    Opcode,
+    parse_module,
+    verify_module,
+)
+from repro.passes import InstSimplifyPass, Mem2RegPass
+from tests.conftest import lower
+from tests.passes.helpers import check_behaviour_preserved, check_dormancy_contract
+
+
+def simplify_fn(body_ir: str, params: str = "i64 %x"):
+    text = f"module m\ndefine @f({params}) -> i64 {{\n^entry:\n{body_ir}\n}}\n"
+    module = parse_module(text)
+    InstSimplifyPass().run_on_function(module.functions["f"], module)
+    verify_module(module)
+    return module.functions["f"]
+
+
+def ret_value(fn):
+    term = fn.entry.terminator
+    return term.value
+
+
+class TestConstantFolding:
+    def test_binary_fold(self):
+        fn = simplify_fn("  %t = add i64 2, 3\n  ret %t")
+        assert isinstance(ret_value(fn), ConstantInt) and ret_value(fn).value == 5
+
+    def test_fold_chain(self):
+        fn = simplify_fn("  %a = mul i64 3, 4\n  %b = sub i64 %a, 2\n  ret %b")
+        assert ret_value(fn).value == 10
+
+    def test_division_by_zero_not_folded(self):
+        fn = simplify_fn("  %t = sdiv i64 5, 0\n  ret %t")
+        assert any(i.opcode is Opcode.SDIV for i in fn.instructions())
+
+    def test_icmp_fold(self):
+        fn = simplify_fn("  %c = icmp slt 2, 3\n  %z = zext %c\n  ret %z")
+        assert ret_value(fn).value == 1
+
+    def test_trunc_zext_fold(self):
+        fn = simplify_fn("  %t = trunc 3\n  %z = zext %t\n  ret %z")
+        assert ret_value(fn).value == 1
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        fn = simplify_fn("  %t = add i64 %x, 0\n  ret %t")
+        assert ret_value(fn) is fn.args[0]
+
+    def test_sub_self(self):
+        fn = simplify_fn("  %t = sub i64 %x, %x\n  ret %t")
+        assert ret_value(fn).value == 0
+
+    def test_mul_one_and_zero(self):
+        fn = simplify_fn("  %t = mul i64 %x, 1\n  ret %t")
+        assert ret_value(fn) is fn.args[0]
+        fn = simplify_fn("  %t = mul i64 %x, 0\n  ret %t")
+        assert ret_value(fn).value == 0
+
+    def test_and_or_xor_identities(self):
+        assert ret_value(simplify_fn("  %t = and i64 %x, -1\n  ret %t")).ref() == "%x"
+        assert ret_value(simplify_fn("  %t = or i64 %x, 0\n  ret %t")).ref() == "%x"
+        assert ret_value(simplify_fn("  %t = xor i64 %x, %x\n  ret %t")).value == 0
+        assert ret_value(simplify_fn("  %t = and i64 %x, 0\n  ret %t")).value == 0
+        assert ret_value(simplify_fn("  %t = or i64 %x, -1\n  ret %t")).value == -1
+
+    def test_shift_zero(self):
+        assert ret_value(simplify_fn("  %t = shl i64 %x, 0\n  ret %t")).ref() == "%x"
+
+    def test_srem_one(self):
+        assert ret_value(simplify_fn("  %t = srem i64 %x, 1\n  ret %t")).value == 0
+
+    def test_sdiv_one(self):
+        assert ret_value(simplify_fn("  %t = sdiv i64 %x, 1\n  ret %t")).ref() == "%x"
+
+    def test_icmp_self(self):
+        fn = simplify_fn("  %c = icmp sle %x, %x\n  %z = zext %c\n  ret %z")
+        assert ret_value(fn).value == 1
+        fn = simplify_fn("  %c = icmp ne %x, %x\n  %z = zext %c\n  ret %z")
+        assert ret_value(fn).value == 0
+
+
+class TestCanonicalization:
+    def test_commutative_constant_moves_right(self):
+        fn = simplify_fn("  %t = add i64 5, %x\n  ret %t")
+        add = [i for i in fn.instructions() if i.opcode is Opcode.ADD][0]
+        assert add.operands[0] is fn.args[0]
+        assert isinstance(add.operands[1], ConstantInt)
+
+    def test_icmp_swaps_with_predicate(self):
+        fn = simplify_fn("  %c = icmp slt 3, %x\n  %z = zext %c\n  ret %z")
+        cmp_inst = [i for i in fn.instructions() if i.opcode is Opcode.ICMP][0]
+        assert cmp_inst.pred is ICmpPred.SGT
+        assert cmp_inst.operands[0] is fn.args[0]
+
+    def test_sub_constant_not_swapped(self):
+        fn = simplify_fn("  %t = sub i64 3, %x\n  ret %t")
+        sub = [i for i in fn.instructions() if i.opcode is Opcode.SUB][0]
+        assert isinstance(sub.operands[0], ConstantInt)  # sub is not commutative
+
+
+class TestSelectAndPhi:
+    def test_select_constant_cond(self):
+        fn = simplify_fn("  %s = select true, %x, 0\n  ret %s")
+        assert ret_value(fn) is fn.args[0]
+
+    def test_select_same_arms(self):
+        fn = simplify_fn("  %c = icmp slt %x, 0\n  %s = select %c, %x, %x\n  ret %s")
+        assert ret_value(fn) is fn.args[0]
+
+    def test_single_value_phi_after_mem2reg(self):
+        module = lower("int f(bool c) { int x = 7; if (c) { int y = 1; } return x; }")
+        fn = module.functions["f"]
+        Mem2RegPass().run_on_function(fn, module)
+        InstSimplifyPass().run_on_function(fn, module)
+        verify_module(module)
+        # x is 7 on every path: the phi (if any) must fold away.
+        assert all(i.opcode is not Opcode.PHI or i.ty.is_void for i in fn.instructions())
+
+
+class TestEndToEnd:
+    def test_behaviour_preserved_with_mixed_code(self):
+        check_behaviour_preserved(
+            """
+            int main() {
+              int a = 10 * 0 + 5;
+              int b = a * 1 + (a - a);
+              int c = (b << 0) | 0;
+              print(a + b + c);
+              return (c == 5 && true) ? 0 : 1;
+            }
+            """,
+            [Mem2RegPass(), InstSimplifyPass()],
+        )
+
+    def test_trap_preserved(self):
+        module, ref, after = check_behaviour_preserved(
+            "int main() { int z = 0; print(1); return 5 / z; }",
+            [Mem2RegPass(), InstSimplifyPass()],
+        )
+        assert ref.trapped and after.trapped
+
+    def test_dormancy_contract(self):
+        module = lower(
+            "int f(int x) { int y = x * 2 + 0; return (y << 1) % 8; }"
+        )
+        Mem2RegPass().run_on_function(module.functions["f"], module)
+        check_dormancy_contract(InstSimplifyPass(), module)

@@ -1,0 +1,199 @@
+"""simplifycfg tests."""
+
+from repro.ir import Opcode, parse_module, verify_module
+from repro.passes import Mem2RegPass, SimplifyCFGPass
+from tests.conftest import lower
+from tests.passes.helpers import check_behaviour_preserved, check_dormancy_contract, run_pass
+
+
+class TestUnreachable:
+    def test_unreachable_blocks_removed(self):
+        text = """module m
+define @f() -> i64 {
+^entry:
+  ret 1
+^dead:
+  %x = add i64 1, 2
+  ret %x
+}
+"""
+        module = parse_module(text)
+        stats = run_pass(SimplifyCFGPass(), module, "f")
+        assert stats.detail.get("unreachable_removed") == 1
+        assert len(module.functions["f"].blocks) == 1
+
+    def test_phi_edge_from_dead_block_dropped(self):
+        text = """module m
+define @f(i1 %c) -> i64 {
+^entry:
+  cbr %c, ^a, ^join
+^a:
+  br ^join
+^dead:
+  br ^join
+^join:
+  %p = phi i64 [1, ^entry], [2, ^a], [3, ^dead]
+  ret %p
+}
+"""
+        module = parse_module(text)
+        run_pass(SimplifyCFGPass(), module, "f")
+        verify_module(module)
+
+
+class TestConstantBranches:
+    def test_cbr_true_folds(self):
+        text = """module m
+define @f() -> i64 {
+^entry:
+  cbr true, ^a, ^b
+^a:
+  ret 1
+^b:
+  ret 2
+}
+"""
+        module = parse_module(text)
+        stats = run_pass(SimplifyCFGPass(), module, "f")
+        assert stats.detail.get("cbr_folded") == 1
+        fn = module.functions["f"]
+        assert all(i.opcode is not Opcode.CBR for i in fn.instructions())
+        # The dead branch got removed and straight-line merged.
+        assert len(fn.blocks) == 1
+
+    def test_cbr_same_targets(self):
+        text = """module m
+define @f(i1 %c) -> i64 {
+^entry:
+  cbr %c, ^a, ^a
+^a:
+  ret 1
+}
+"""
+        module = parse_module(text)
+        stats = run_pass(SimplifyCFGPass(), module, "f")
+        assert stats.changed
+        assert all(i.opcode is not Opcode.CBR for i in module.functions["f"].instructions())
+
+    def test_cbr_same_targets_with_phi_dedup(self):
+        text = """module m
+define @f(i1 %c, i64 %x) -> i64 {
+^entry:
+  cbr %c, ^a, ^a
+^a:
+  %p = phi i64 [%x, ^entry], [%x, ^entry]
+  ret %p
+}
+"""
+        module = parse_module(text)
+        run_pass(SimplifyCFGPass(), module, "f")
+        verify_module(module)
+
+
+class TestMergingAndForwarding:
+    def test_straightline_chain_merges(self):
+        text = """module m
+define @f() -> i64 {
+^a:
+  %x = add i64 1, 2
+  br ^b
+^b:
+  %y = add i64 %x, 3
+  br ^c
+^c:
+  ret %y
+}
+"""
+        module = parse_module(text)
+        stats = run_pass(SimplifyCFGPass(), module, "f")
+        assert stats.detail.get("blocks_merged") == 2
+        assert len(module.functions["f"].blocks) == 1
+
+    def test_forwarder_skipped(self):
+        text = """module m
+define @f(i1 %c) -> i64 {
+^entry:
+  cbr %c, ^fwd, ^other
+^fwd:
+  br ^target
+^other:
+  ret 0
+^target:
+  ret 1
+}
+"""
+        module = parse_module(text)
+        stats = run_pass(SimplifyCFGPass(), module, "f")
+        assert stats.changed
+        fn = module.functions["f"]
+        # No forwarding blocks survive (either skipped or merged away).
+        from repro.ir import BrInst
+        assert not any(
+            len(b.instructions) == 1 and isinstance(b.instructions[0], BrInst)
+            for b in fn.blocks
+        )
+
+    def test_forwarder_with_target_phi(self):
+        text = """module m
+define @f(i1 %c) -> i64 {
+^entry:
+  cbr %c, ^fwd, ^direct
+^fwd:
+  br ^join
+^direct:
+  br ^join
+^join:
+  %p = phi i64 [10, ^fwd], [20, ^direct]
+  ret %p
+}
+"""
+        module = parse_module(text)
+        run_pass(SimplifyCFGPass(), module, "f")
+        verify_module(module)
+
+    def test_single_incoming_phi_simplified(self):
+        text = """module m
+define @f(i64 %x) -> i64 {
+^entry:
+  br ^next
+^next:
+  %p = phi i64 [%x, ^entry]
+  ret %p
+}
+"""
+        module = parse_module(text)
+        run_pass(SimplifyCFGPass(), module, "f")
+        fn = module.functions["f"]
+        assert all(i.opcode is not Opcode.PHI for i in fn.instructions())
+
+
+class TestBehaviour:
+    def test_lowered_if_chains_collapse(self):
+        module, *_ = check_behaviour_preserved(
+            """
+            int main() {
+              int x = 5;
+              if (x > 3) { if (x > 4) print(1); else print(2); } else print(3);
+              return 0;
+            }
+            """,
+            [Mem2RegPass(), SimplifyCFGPass()],
+        )
+
+    def test_loops_survive(self):
+        check_behaviour_preserved(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 7; ++i) if (i != 3) s += i;
+              print(s);
+              return 0;
+            }
+            """,
+            [Mem2RegPass(), SimplifyCFGPass()],
+        )
+
+    def test_dormancy_contract(self):
+        module = lower("int f(bool c) { if (c) return 1; return 2; }")
+        run_pass(Mem2RegPass(), module, "f")
+        check_dormancy_contract(SimplifyCFGPass(), module)

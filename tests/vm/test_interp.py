@@ -1,0 +1,160 @@
+"""IR interpreter tests (direct, without frontend)."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.vm.interp import ExecutionResult, IRInterpreter, Trap, run_module
+
+
+def run_text(text: str, entry="main", **kwargs):
+    return run_module(parse_module(text), entry=entry, **kwargs)
+
+
+class TestBasics:
+    def test_ret_constant(self):
+        res = run_text("module m\ndefine @main() -> i64 {\n^e:\n  ret 7\n}")
+        assert res.exit_code == 7 and not res.trapped
+
+    def test_void_ret_returns_zero(self):
+        res = run_text("module m\ndefine @main() -> i64 {\n^e:\n  %r = call @v() : void()\n  ret 0\n}\ndefine @v() -> void {\n^e:\n  ret\n}".replace("%r = call @v() : void()", "call @v() : void()"))
+        assert res.exit_code == 0
+
+    def test_arith_and_select(self):
+        text = """module m
+define @main() -> i64 {
+^e:
+  %a = mul i64 6, 7
+  %c = icmp sgt %a, 40
+  %s = select %c, %a, 0
+  ret %s
+}
+"""
+        assert run_text(text).exit_code == 42
+
+    def test_phi_simultaneous_swap(self):
+        # Classic phi-swap: both phis must read pre-update values.
+        text = """module m
+define @main() -> i64 {
+^entry:
+  br ^loop
+^loop:
+  %a = phi i64 [1, ^entry], [%b, ^loop2]
+  %b = phi i64 [2, ^entry], [%a, ^loop2]
+  %i = phi i64 [0, ^entry], [%i2, ^loop2]
+  %c = icmp slt %i, 3
+  cbr %c, ^loop2, ^exit
+^loop2:
+  %i2 = add i64 %i, 1
+  br ^loop
+^exit:
+  %r = mul i64 %a, 10
+  %r2 = add i64 %r, %b
+  ret %r2
+}
+"""
+        # swap 3 times: (1,2) -> (2,1) -> (1,2) -> (2,1); a=2, b=1 -> 21
+        assert run_text(text).exit_code == 21
+
+    def test_undef_reads_as_zero(self):
+        text = "module m\ndefine @main() -> i64 {\n^e:\n  %x = add i64 undef.i64, 5\n  ret %x\n}"
+        assert run_text(text).exit_code == 5
+
+
+class TestMemory:
+    def test_alloca_load_store_gep(self):
+        text = """module m
+define @main() -> i64 {
+^e:
+  %p = alloca 3
+  %q = gep %p, 2
+  store 9, %q
+  %v = load i64 %q
+  ret %v
+}
+"""
+        assert run_text(text).exit_code == 9
+
+    def test_globals_initialized(self):
+        text = """module m
+global @g : 2 = [11, 22]
+define @main() -> i64 {
+^e:
+  %q = gep @g, 1
+  %v = load i64 %q
+  ret %v
+}
+"""
+        assert run_text(text).exit_code == 22
+
+    def test_frame_memory_released_after_return(self):
+        text = """module m
+define @leaf() -> i64 {
+^e:
+  %p = alloca 100
+  ret 0
+}
+define @main() -> i64 {
+^e:
+  %a = call @leaf() : i64()
+  %b = call @leaf() : i64()
+  ret 0
+}
+"""
+        interp = IRInterpreter([parse_module(text)])
+        interp.run()
+        assert len(interp.memory) == 0  # all frames popped
+
+    def test_oob_load_traps(self):
+        text = "module m\ndefine @main() -> i64 {\n^e:\n  %v = load i64 -1\n  ret %v\n}"
+        res = run_text(text)
+        assert res.trapped and "bounds" in res.trap_message
+
+
+class TestLinking:
+    def test_cross_module_calls(self):
+        a = parse_module("module a\ndeclare @g : i64()\ndefine @main() -> i64 {\n^e:\n  %r = call @g() : i64()\n  ret %r\n}")
+        b = parse_module("module b\ndefine @g() -> i64 {\n^e:\n  ret 5\n}")
+        assert run_module([a, b]).exit_code == 5
+
+    def test_duplicate_symbol_traps(self):
+        a = parse_module("module a\ndefine @main() -> i64 {\n^e:\n  ret 1\n}")
+        b = parse_module("module b\ndefine @main() -> i64 {\n^e:\n  ret 2\n}")
+        with pytest.raises(Trap, match="duplicate"):
+            IRInterpreter([a, b])
+
+    def test_unresolved_extern_global_traps(self):
+        a = parse_module("module a\nextern global @missing : 1\ndefine @main() -> i64 {\n^e:\n  ret 0\n}")
+        with pytest.raises(Trap, match="unresolved"):
+            IRInterpreter([a])
+
+    def test_undefined_function_call(self):
+        a = parse_module("module a\ndeclare @nope : i64()\ndefine @main() -> i64 {\n^e:\n  %r = call @nope() : i64()\n  ret %r\n}")
+        res = run_module(a)
+        assert res.trapped and "undefined function" in res.trap_message
+
+
+class TestLimits:
+    def test_step_budget(self):
+        text = """module m
+define @main() -> i64 {
+^e:
+  br ^spin
+^spin:
+  br ^spin
+}
+"""
+        res = run_text(text, max_steps=1000)
+        assert res.trapped and "budget" in res.trap_message
+
+    def test_behaviour_comparison(self):
+        a = ExecutionResult(0, [1, 2], 10)
+        b = ExecutionResult(0, [1, 2], 999)
+        assert a.same_behaviour(b)  # step counts don't matter
+        c = ExecutionResult(1, [1, 2], 10)
+        assert not a.same_behaviour(c)
+        d = ExecutionResult(0, [1, 3], 10)
+        assert not a.same_behaviour(d)
+        t1 = ExecutionResult(-1, [1], 5, trapped=True)
+        t2 = ExecutionResult(-1, [1], 9, trapped=True, trap_message="different")
+        assert t1.same_behaviour(t2)
+        assert not t1.same_behaviour(a)

@@ -1,0 +1,67 @@
+"""Profiling VM tests."""
+
+from repro.backend.linker import link
+from repro.backend.objfile import compile_module_to_object
+from repro.vm.machine import VirtualMachine
+from repro.vm.profiler import ProfilingVM, profile_run
+from tests.conftest import lower
+
+SRC = """
+int helper(int x) {
+  int s = 0;
+  for (int i = 0; i < 10; ++i) s += x;
+  return s;
+}
+int cheap(int x) { return x + 1; }
+int main() {
+  int total = 0;
+  for (int i = 0; i < 5; ++i) total += helper(i);
+  total += cheap(total);
+  print(total);
+  return 0;
+}
+"""
+
+
+def image_for(src: str = SRC):
+    return link([compile_module_to_object(lower(src))])
+
+
+class TestProfiler:
+    def test_behaviour_unchanged_under_profiling(self):
+        image = image_for()
+        plain = VirtualMachine(image).run()
+        profiled = ProfilingVM(image).run()
+        assert profiled.same_behaviour(plain)
+
+    def test_call_counts(self):
+        report = profile_run(image_for())
+        assert report.functions["helper"].calls == 5
+        assert report.functions["cheap"].calls == 1
+        assert report.functions["main"].calls == 1
+        assert report.functions["print"].calls == 1
+
+    def test_step_attribution(self):
+        report = profile_run(image_for())
+        # helper runs a 10-iteration loop five times: it dominates.
+        assert report.functions["helper"].steps > report.functions["cheap"].steps
+        assert report.hottest(1)[0].name == "helper"
+        # Steps attributed to functions match the VM's own total count.
+        attributed = sum(
+            p.steps for p in report.functions.values() if p.name not in ("print", "input")
+        )
+        assert attributed == report.result.steps
+
+    def test_steps_per_call(self):
+        report = profile_run(image_for())
+        helper = report.functions["helper"]
+        assert helper.steps_per_call * helper.calls == helper.steps
+
+    def test_render(self):
+        report = profile_run(image_for())
+        text = report.render()
+        assert "helper" in text and "steps/call" in text
+
+    def test_trap_still_reported(self):
+        report = profile_run(image_for("int main() { int z = 0; return 1 / z; }"))
+        assert report.result.trapped
