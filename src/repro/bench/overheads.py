@@ -40,31 +40,43 @@ class OverheadRow:
         return self.stateful_clean_time / self.stateless_clean_time - 1.0
 
 
+def _clean_build(project, options: CompilerOptions):
+    db = BuildDatabase()
+    report = IncrementalBuilder(
+        project.provider(), project.unit_paths, options, db
+    ).build(link_output=False)
+    return report, db
+
+
 def overhead_report(
     presets: list[str] | None = None,
     *,
     opt_level: str = "O2",
     seed: int = 1,
+    repeats: int = 5,
 ) -> list[OverheadRow]:
     presets = presets or ["tiny", "small", "medium", "large"]
     rows = []
     for preset in presets:
         project = generate_project(make_preset(preset, seed=seed))
 
-        stateless = IncrementalBuilder(
-            project.provider(),
-            project.unit_paths,
-            CompilerOptions(opt_level=opt_level, stateful=False),
-            BuildDatabase(),
-        ).build(link_output=False)
-
-        db = BuildDatabase()
-        stateful = IncrementalBuilder(
-            project.provider(),
-            project.unit_paths,
-            CompilerOptions(opt_level=opt_level, stateful=True),
-            db,
-        ).build(link_output=False)
+        # Clean-build both variants back-to-back ``repeats`` times
+        # (fresh database every time).  Each back-to-back pair sees the
+        # same background load, so its stateful/stateless time ratio is
+        # a fair overhead sample even on a noisy machine; taking the
+        # median pair discards repeats where a load spike landed inside
+        # one half of a pair.
+        pairs = []
+        for _ in range(repeats):
+            sl, _unused = _clean_build(
+                project, CompilerOptions(opt_level=opt_level, stateful=False)
+            )
+            sf, sf_db = _clean_build(
+                project, CompilerOptions(opt_level=opt_level, stateful=True)
+            )
+            pairs.append((sf.total_wall_time / sl.total_wall_time, sl, sf, sf_db))
+        pairs.sort(key=lambda pair: pair[0])
+        _ratio, stateless, stateful, db = pairs[len(pairs) // 2]
 
         # Flush the live state and round-trip it to measure pure
         # (de)serialization cost and on-disk size.

@@ -1,0 +1,40 @@
+"""The incremental build system the stateful compiler plugs into.
+
+ninja/make give *file-level* statefulness: unchanged translation units
+are not recompiled at all.  This package reproduces that baseline so
+"end-to-end incremental build" means the same thing for both compiler
+variants, and so the paper's mechanism is measured on top of — not
+instead of — a competent build system:
+
+- :mod:`repro.buildsys.deps` — header dependency tracking: a fast
+  regex ``include`` scanner with transitive closure, cycle safety, and
+  missing-header tolerance.
+- :mod:`repro.buildsys.builddb` — the content-digest
+  :class:`BuildDatabase`: per-unit digests, dependency digests, cached
+  object JSON, and the embedded live :class:`~repro.core.state.CompilerState`
+  (the compiler's dormancy records persist *inside* the build DB, so one
+  file carries everything a rebuild needs).
+- :mod:`repro.buildsys.incremental` — :class:`IncrementalBuilder`: the
+  scheduler deciding, per unit, rebuild vs reuse, compiling via
+  :mod:`repro.driver` and linking the result.
+- :mod:`repro.buildsys.report` — :class:`BuildReport`: per-build
+  accounting (recompiles, bypass statistics, wall/work totals) the
+  benchmarks and the ``reprobuild`` CLI consume.
+"""
+
+from repro.buildsys.builddb import DB_SCHEMA_VERSION, BuildDatabase, UnitRecord
+from repro.buildsys.deps import DependencyScanner, DependencySnapshot, content_digest
+from repro.buildsys.incremental import IncrementalBuilder
+from repro.buildsys.report import BuildReport, UnitBuildResult
+
+__all__ = [
+    "DB_SCHEMA_VERSION",
+    "BuildDatabase",
+    "UnitRecord",
+    "DependencyScanner",
+    "DependencySnapshot",
+    "content_digest",
+    "IncrementalBuilder",
+    "BuildReport",
+    "UnitBuildResult",
+]

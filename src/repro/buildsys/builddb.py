@@ -1,0 +1,153 @@
+"""The build database: content digests, cached objects, live compiler state.
+
+One JSON file per build tree, playing the role of ninja's ``.ninja_log``
++ ``.ninja_deps`` + the object directory — and additionally carrying the
+stateful compiler's :class:`~repro.core.state.CompilerState`.  Embedding
+the state in the build DB (rather than a sibling file) means the two can
+never drift apart: a build either sees both caches or neither.
+
+Per translation unit the DB records the source digest, the digest of
+every transitively included header (``None`` for headers that were
+missing when the unit was built), and the compiled object's JSON.  A
+unit is up to date when its current :class:`DependencySnapshot` matches
+the record exactly; anything else — edited source, edited header, a
+header added/removed from the closure, a previously missing header
+appearing — forces a recompile.
+
+Like the compiler state, the DB is disposable: a missing, corrupt, or
+schema-incompatible file loads as an empty database and the next build
+is simply a clean build.  Cache loss is a performance event, never a
+correctness one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.buildsys.deps import DependencySnapshot
+from repro.core.state import CompilerState
+
+DB_SCHEMA_VERSION = 1
+
+
+@dataclass
+class UnitRecord:
+    """What the last successful build of one translation unit saw."""
+
+    path: str
+    source_digest: str
+    #: Include-closure digests at build time (``None`` = header missing).
+    dep_digests: dict[str, str | None]
+    #: The compiled object, cached verbatim for up-to-date reuse.
+    object_json: str
+
+
+@dataclass
+class BuildDatabase:
+    """All build products and metadata for one project tree."""
+
+    units: dict[str, UnitRecord] = field(default_factory=dict)
+    #: The stateful compiler's dormancy records, carried between builds.
+    #: ``None`` until a stateful build runs (stateless builds never
+    #: create state; an incompatible loaded state is discarded).
+    live_state: CompilerState | None = None
+
+    # -- up-to-date checks --------------------------------------------------
+
+    def up_to_date(self, snapshot: DependencySnapshot) -> bool:
+        """Is the recorded build of this unit still valid?"""
+        record = self.units.get(snapshot.path)
+        return (
+            record is not None
+            and snapshot.source_digest is not None
+            and record.source_digest == snapshot.source_digest
+            and record.dep_digests == snapshot.dep_digests
+        )
+
+    def record_unit(self, snapshot: DependencySnapshot, object_json: str) -> None:
+        """Store a fresh compilation result for one unit."""
+        assert snapshot.source_digest is not None
+        self.units[snapshot.path] = UnitRecord(
+            path=snapshot.path,
+            source_digest=snapshot.source_digest,
+            dep_digests=dict(snapshot.dep_digests),
+            object_json=object_json,
+        )
+
+    def prune(self, keep: list[str]) -> list[str]:
+        """Drop records for units no longer in the project; returns them."""
+        stale = sorted(set(self.units) - set(keep))
+        for path in stale:
+            del self.units[path]
+        return stale
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": DB_SCHEMA_VERSION,
+            "units": [
+                {
+                    "path": r.path,
+                    "source": r.source_digest,
+                    "deps": [[p, d] for p, d in sorted(r.dep_digests.items())],
+                    "object": r.object_json,
+                }
+                for r in sorted(self.units.values(), key=lambda r: r.path)
+            ],
+            # The compiler state keeps its own schema/versioning; it is
+            # embedded as its serialized form so its compatibility rules
+            # apply unchanged.
+            "state": self.live_state.to_json() if self.live_state is not None else None,
+        }
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "BuildDatabase":
+        payload = json.loads(text)
+        if payload.get("schema") != DB_SCHEMA_VERSION:
+            raise ValueError(
+                f"build DB schema {payload.get('schema')} != {DB_SCHEMA_VERSION}"
+            )
+        db = cls()
+        for entry in payload["units"]:
+            db.units[entry["path"]] = UnitRecord(
+                path=entry["path"],
+                source_digest=entry["source"],
+                dep_digests={p: d for p, d in entry["deps"]},
+                object_json=entry["object"],
+            )
+        state_json = payload.get("state")
+        if state_json is not None:
+            try:
+                db.live_state = CompilerState.from_json(state_json)
+            except (ValueError, KeyError, json.JSONDecodeError):
+                # A state schema bump must not invalidate the object
+                # cache: keep the units, drop only the state.
+                db.live_state = None
+        return db
+
+    # -- file I/O -----------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Write atomically; returns the serialized size in bytes."""
+        path = Path(path)
+        data = self.to_json().encode("utf-8")
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        return len(data)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BuildDatabase":
+        """Load a DB, returning an empty one on any incompatibility."""
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        try:
+            return cls.from_json(path.read_text())
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError, OSError):
+            return cls()

@@ -1,0 +1,69 @@
+"""Per-build accounting: what was rebuilt, what it cost, what it made.
+
+The experiments compare *end-to-end builds*, so the numbers the
+benchmarks consume live here rather than on individual compilations:
+wall-clock for the whole build, the deterministic pass-work cost model
+summed over recompiled units, and the aggregated bypass statistics that
+show the stateful mechanism at work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.linker import LinkedImage
+from repro.core.statistics import BypassStatistics
+
+
+@dataclass
+class UnitBuildResult:
+    """One translation unit actually recompiled during a build."""
+
+    path: str
+    wall_time: float
+    pass_work: int
+    stats: BypassStatistics
+    #: Statefulness overhead for this unit (0 for stateless builds).
+    fingerprint_time: float = 0.0
+    fingerprint_count: int = 0
+
+
+@dataclass
+class BuildReport:
+    """Everything one :meth:`IncrementalBuilder.build` call produced."""
+
+    #: Units recompiled this build, in schedule order.
+    compiled: list[UnitBuildResult] = field(default_factory=list)
+    #: Units whose cached objects were reused, in schedule order.
+    up_to_date: list[str] = field(default_factory=list)
+    #: Pass/bypass counters aggregated over all recompiled units.
+    bypass: BypassStatistics = field(default_factory=BypassStatistics)
+    #: Wall-clock seconds for the whole build: dependency scanning,
+    #: up-to-date checks, compilations, and linking.
+    total_wall_time: float = 0.0
+    link_time: float = 0.0
+    #: Dormancy records in the live compiler state (0 when stateless).
+    state_records: int = 0
+    #: The linked executable (``None`` when built with link_output=False).
+    image: LinkedImage | None = None
+
+    @property
+    def num_recompiled(self) -> int:
+        return len(self.compiled)
+
+    @property
+    def total_pass_work(self) -> int:
+        """Deterministic cost model: IR instructions visited by executed passes."""
+        return sum(unit.pass_work for unit in self.compiled)
+
+    @property
+    def compile_wall_time(self) -> float:
+        """Seconds spent inside the compiler proper (excludes scan/link)."""
+        return sum(unit.wall_time for unit in self.compiled)
+
+    def describe(self) -> str:
+        """One-line human summary (the ``reprobuild`` status format)."""
+        return (
+            f"{self.num_recompiled} recompiled, {len(self.up_to_date)} up-to-date, "
+            f"{self.total_wall_time:.3f}s total"
+        )

@@ -234,5 +234,20 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _dispatch_main() -> int:
+    """Pick the entry point by invocation name.
+
+    The module hosts three tools; ``python -m repro.cli`` and direct
+    execution both land here, so dispatch on how we were invoked rather
+    than unconditionally running ``reproc``.
+    """
+    name = Path(sys.argv[0]).name
+    if "reprobuild" in name:
+        return reprobuild_main()
+    if "reprobench" in name:
+        return reprobench_main()
+    return reproc_main()
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(reproc_main())
+    sys.exit(_dispatch_main())

@@ -45,104 +45,77 @@ def _encode_operand(
     value: Value,
     inst_index: dict[Instruction, int],
 ) -> str:
-    if isinstance(value, ConstantInt):
-        return f"c:{value.ty}:{value.value}"
-    if isinstance(value, GlobalAddr):
+    # Exact-class dispatch (every operand class is a leaf) — this runs
+    # once per operand on the stateful compiler's hottest path.
+    cls = value.__class__
+    if cls is ConstantInt:
+        return f"c:{value.ty.name}:{value.value}"
+    if cls is GlobalAddr:
         return f"g:{value.symbol}"
-    if isinstance(value, Argument):
+    if cls is Argument:
         return f"a:{value.index}"
-    if isinstance(value, UndefValue):
-        return f"u:{value.ty}"
+    if cls is UndefValue:
+        return f"u:{value.ty.name}"
+    index = inst_index.get(value)
+    if index is not None:
+        return f"i:{index}"
     if isinstance(value, Instruction):
-        index = inst_index.get(value)
         # A detached operand should never appear in verified IR; encode it
         # distinctly so the fingerprint cannot collide with valid IR.
-        return f"i:{index if index is not None else 'detached'}"
+        return "i:detached"
     return f"?:{value.ref()}"
 
 
 def canonical_function_text(fn: Function) -> str:
     """Name-insensitive canonical serialization of a function's IR."""
-    block_index: dict[BasicBlock, int] = {b: i for i, b in enumerate(fn.blocks)}
+    block_index: dict[BasicBlock, int] = {}
     inst_index: dict[Instruction, int] = {}
     counter = 0
-    for block in fn.blocks:
+    for i, block in enumerate(fn.blocks):
+        block_index[block] = i
         for inst in block.instructions:
             inst_index[inst] = counter
             counter += 1
 
+    block_of = block_index.get
+    encode = _encode_operand
     lines: list[str] = [f"sig={fn.sig}"]
+    append = lines.append
     for block in fn.blocks:
-        lines.append(f"B{block_index[block]}:")
+        append(f"B{block_index[block]}:")
         for inst in block.instructions:
-            parts = [inst.opcode.value, str(inst.ty)]
-            if isinstance(inst, ICmpInst):
+            cls = inst.__class__
+            parts = [inst.opcode.value, inst.ty.name]
+            if cls is ICmpInst:
                 parts.append(inst.pred.value)
-            elif isinstance(inst, AllocaInst):
+            elif cls is AllocaInst:
                 parts.append(str(inst.size))
-            elif isinstance(inst, CallInst):
+            elif cls is CallInst:
                 parts.append(f"@{inst.callee}:{inst.sig}")
-            parts.extend(_encode_operand(op, inst_index) for op in inst.operands)
-            if isinstance(inst, PhiInst):
-                parts.extend(f"b:{block_index.get(b, -1)}" for b in inst.incoming_blocks)
-            elif isinstance(inst, BrInst):
-                parts.append(f"b:{block_index.get(inst.target, -1)}")
-            elif isinstance(inst, CBrInst):
-                parts.append(f"b:{block_index.get(inst.if_true, -1)}")
-                parts.append(f"b:{block_index.get(inst.if_false, -1)}")
-            lines.append(" ".join(parts))
+            for op in inst.operands:
+                parts.append(encode(op, inst_index))
+            if cls is PhiInst:
+                for b in inst.incoming_blocks:
+                    parts.append(f"b:{block_of(b, -1)}")
+            elif cls is BrInst:
+                parts.append(f"b:{block_of(inst.target, -1)}")
+            elif cls is CBrInst:
+                parts.append(f"b:{block_of(inst.if_true, -1)}")
+                parts.append(f"b:{block_of(inst.if_false, -1)}")
+            append(" ".join(parts))
     return "\n".join(lines)
-
-
-def _canonical_digest(fn: Function) -> str:
-    """Streaming variant of ``stable_hash(canonical_function_text(fn))``.
-
-    Produces the same digest as hashing the canonical text, but feeds
-    the hash incrementally — fingerprinting is on the stateful
-    compiler's hot path, so avoiding the intermediate megastring
-    matters.
-    """
-    block_index: dict[BasicBlock, int] = {b: i for i, b in enumerate(fn.blocks)}
-    inst_index: dict[Instruction, int] = {}
-    counter = 0
-    for block in fn.blocks:
-        for inst in block.instructions:
-            inst_index[inst] = counter
-            counter += 1
-
-    h = hashlib.blake2b(digest_size=16)
-    update = h.update
-    update(f"sig={fn.sig}".encode())
-    for block in fn.blocks:
-        update(f"\nB{block_index[block]}:".encode())
-        for inst in block.instructions:
-            parts = [inst.opcode.value, str(inst.ty)]
-            if isinstance(inst, ICmpInst):
-                parts.append(inst.pred.value)
-            elif isinstance(inst, AllocaInst):
-                parts.append(str(inst.size))
-            elif isinstance(inst, CallInst):
-                parts.append(f"@{inst.callee}:{inst.sig}")
-            parts.extend(_encode_operand(op, inst_index) for op in inst.operands)
-            if isinstance(inst, PhiInst):
-                parts.extend(f"b:{block_index.get(b, -1)}" for b in inst.incoming_blocks)
-            elif isinstance(inst, BrInst):
-                parts.append(f"b:{block_index.get(inst.target, -1)}")
-            elif isinstance(inst, CBrInst):
-                parts.append(f"b:{block_index.get(inst.if_true, -1)}")
-                parts.append(f"b:{block_index.get(inst.if_false, -1)}")
-            update(("\n" + " ".join(parts)).encode())
-    return h.hexdigest()
 
 
 def fingerprint_function(fn: Function, *, mode: str = "canonical") -> str:
     """Fingerprint a function's IR.
 
     ``mode`` is ``"canonical"`` (name-insensitive, default) or
-    ``"named"`` (hash of the printed text).
+    ``"named"`` (hash of the printed text).  Both modes hash one joined
+    string: a single BLAKE2b update over the full canonical text is
+    cheaper than streaming many per-instruction updates.
     """
     if mode == "canonical":
-        return _canonical_digest(fn)
+        return stable_hash(canonical_function_text(fn))
     if mode == "named":
         return stable_hash(print_function(fn))
     raise ValueError(f"unknown fingerprint mode {mode!r}")

@@ -1,0 +1,116 @@
+"""BuildDatabase: up-to-date checks and (de)serialization round trips."""
+
+import json
+
+from repro.buildsys.builddb import DB_SCHEMA_VERSION, BuildDatabase
+from repro.buildsys.deps import DependencySnapshot, content_digest
+from repro.core.state import CompilerState
+
+
+def snapshot_of(path, text, deps=None):
+    return DependencySnapshot(path, content_digest(text), dict(deps or {}))
+
+
+def sample_db():
+    db = BuildDatabase()
+    db.record_unit(
+        snapshot_of("main.mc", "int main() { return 0; }", {"a.mh": content_digest("x")}),
+        '{"format": "repro-object-v1"}',
+    )
+    state = CompilerState(pipeline_signature="p1|p2", fingerprint_mode="canonical")
+    state.begin_build()
+    state.remember(0, "fp-in", True, "fp-in")
+    state.remember(1, "fp-in", False, "fp-out")
+    db.live_state = state
+    return db
+
+
+class TestUpToDate:
+    def test_unknown_unit_is_dirty(self):
+        assert not BuildDatabase().up_to_date(snapshot_of("m.mc", "x"))
+
+    def test_recorded_unit_is_clean(self):
+        db = BuildDatabase()
+        snap = snapshot_of("m.mc", "x", {"h.mh": content_digest("h")})
+        db.record_unit(snap, "{}")
+        assert db.up_to_date(snap)
+
+    def test_source_change_dirties(self):
+        db = BuildDatabase()
+        db.record_unit(snapshot_of("m.mc", "x"), "{}")
+        assert not db.up_to_date(snapshot_of("m.mc", "y"))
+
+    def test_dep_change_dirties(self):
+        db = BuildDatabase()
+        db.record_unit(snapshot_of("m.mc", "x", {"h.mh": "d1"}), "{}")
+        assert not db.up_to_date(snapshot_of("m.mc", "x", {"h.mh": "d2"}))
+        assert not db.up_to_date(snapshot_of("m.mc", "x", {}))
+        assert not db.up_to_date(snapshot_of("m.mc", "x", {"h.mh": "d1", "i.mh": None}))
+
+    def test_missing_source_is_dirty(self):
+        db = BuildDatabase()
+        db.record_unit(snapshot_of("m.mc", "x"), "{}")
+        assert not db.up_to_date(DependencySnapshot("m.mc", None, {}))
+
+    def test_prune_drops_vanished_units(self):
+        db = BuildDatabase()
+        db.record_unit(snapshot_of("keep.mc", "a"), "{}")
+        db.record_unit(snapshot_of("gone.mc", "b"), "{}")
+        assert db.prune(["keep.mc"]) == ["gone.mc"]
+        assert list(db.units) == ["keep.mc"]
+
+
+class TestRoundTrip:
+    def test_units_and_state_survive(self, tmp_path):
+        db = sample_db()
+        path = tmp_path / "build.db"
+        size = db.save(path)
+        assert size == len(path.read_bytes()) and size > 0
+
+        loaded = BuildDatabase.load(path)
+        assert loaded.units.keys() == db.units.keys()
+        record = loaded.units["main.mc"]
+        assert record.source_digest == db.units["main.mc"].source_digest
+        assert record.dep_digests == db.units["main.mc"].dep_digests
+        assert record.object_json == db.units["main.mc"].object_json
+
+        assert loaded.live_state is not None
+        assert loaded.live_state.pipeline_signature == "p1|p2"
+        assert loaded.live_state.build_counter == 1
+        assert loaded.live_state.records == db.live_state.records
+
+    def test_stateless_db_round_trips_without_state(self, tmp_path):
+        db = BuildDatabase()
+        db.record_unit(snapshot_of("m.mc", "x"), "{}")
+        db.save(tmp_path / "db")
+        loaded = BuildDatabase.load(tmp_path / "db")
+        assert loaded.live_state is None
+        assert "m.mc" in loaded.units
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        db = BuildDatabase.load(tmp_path / "nope")
+        assert db.units == {} and db.live_state is None
+
+    def test_corrupt_file_loads_empty(self, tmp_path):
+        path = tmp_path / "db"
+        path.write_text("{not json")
+        assert BuildDatabase.load(path).units == {}
+
+    def test_schema_mismatch_loads_empty(self, tmp_path):
+        payload = json.loads(sample_db().to_json())
+        payload["schema"] = DB_SCHEMA_VERSION + 1
+        path = tmp_path / "db"
+        path.write_text(json.dumps(payload))
+        assert BuildDatabase.load(path).units == {}
+
+    def test_bad_embedded_state_keeps_units(self, tmp_path):
+        # A compiler-state schema bump must not blow away the object cache.
+        payload = json.loads(sample_db().to_json())
+        state = json.loads(payload["state"])
+        state["schema"] = -1
+        payload["state"] = json.dumps(state)
+        path = tmp_path / "db"
+        path.write_text(json.dumps(payload))
+        loaded = BuildDatabase.load(path)
+        assert "main.mc" in loaded.units
+        assert loaded.live_state is None

@@ -1,0 +1,88 @@
+"""Dependency-scanner edge cases: closures, cycles, missing headers."""
+
+from repro.buildsys.deps import DependencyScanner, content_digest
+from repro.frontend.includes import MemoryFileProvider
+
+
+def scanner(files):
+    return DependencyScanner(MemoryFileProvider(files))
+
+
+class TestDirectIncludes:
+    def test_simple_scan(self):
+        s = scanner({"a.mc": 'include "x.mh";\ninclude "y.mh";\nint main() { return 0; }\n'})
+        assert s.direct_includes("a.mc") == ["x.mh", "y.mh"]
+
+    def test_commented_include_ignored(self):
+        s = scanner({"a.mc": '// include "x.mh";\ninclude "y.mh";\n'})
+        assert s.direct_includes("a.mc") == ["y.mh"]
+
+    def test_missing_file_has_no_includes(self):
+        s = scanner({})
+        assert s.direct_includes("ghost.mc") == []
+
+
+class TestClosure:
+    def test_transitive_first_seen_order(self):
+        s = scanner(
+            {
+                "main.mc": 'include "a.mh";\n',
+                "a.mh": 'include "b.mh";\nint fa(int x);\n',
+                "b.mh": 'include "c.mh";\nint fb(int x);\n',
+                "c.mh": "const int C = 1;\n",
+            }
+        )
+        assert s.include_closure("main.mc") == ["a.mh", "b.mh", "c.mh"]
+
+    def test_diamond_deduplicated(self):
+        s = scanner(
+            {
+                "main.mc": 'include "a.mh";\ninclude "b.mh";\n',
+                "a.mh": 'include "base.mh";\n',
+                "b.mh": 'include "base.mh";\n',
+                "base.mh": "const int B = 2;\n",
+            }
+        )
+        assert s.include_closure("main.mc") == ["a.mh", "base.mh", "b.mh"]
+
+    def test_include_cycle_terminates(self):
+        s = scanner(
+            {
+                "main.mc": 'include "a.mh";\n',
+                "a.mh": 'include "b.mh";\n',
+                "b.mh": 'include "a.mh";\n',
+            }
+        )
+        assert s.include_closure("main.mc") == ["a.mh", "b.mh"]
+
+    def test_missing_header_appears_with_none_digest(self):
+        s = scanner({"main.mc": 'include "ghost.mh";\n'})
+        snapshot = s.snapshot("main.mc")
+        assert snapshot.dep_digests == {"ghost.mh": None}
+        assert snapshot.source_digest == content_digest('include "ghost.mh";\n')
+
+
+class TestSnapshots:
+    FILES = {
+        "main.mc": 'include "a.mh";\nint main() { return A; }\n',
+        "a.mh": "const int A = 7;\n",
+    }
+
+    def test_identical_tree_identical_snapshot(self):
+        a = scanner(dict(self.FILES)).snapshot("main.mc")
+        b = scanner(dict(self.FILES)).snapshot("main.mc")
+        assert (a.source_digest, a.dep_digests) == (b.source_digest, b.dep_digests)
+
+    def test_header_edit_changes_snapshot(self):
+        edited = dict(self.FILES, **{"a.mh": "const int A = 8;\n"})
+        a = scanner(dict(self.FILES)).snapshot("main.mc")
+        b = scanner(edited).snapshot("main.mc")
+        assert a.source_digest == b.source_digest
+        assert a.dep_digests != b.dep_digests
+
+    def test_header_appearing_changes_snapshot(self):
+        missing = {"main.mc": self.FILES["main.mc"]}
+        a = scanner(missing).snapshot("main.mc")
+        b = scanner(dict(self.FILES)).snapshot("main.mc")
+        assert a.dep_digests["a.mh"] is None
+        assert b.dep_digests["a.mh"] is not None

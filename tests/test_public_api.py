@@ -1,0 +1,61 @@
+"""Import-integrity smoke tests.
+
+``repro/__init__.py`` re-exports the public surface from every layer,
+so a missing or broken submodule used to kill *collection* of the whole
+suite with a bare ``ModuleNotFoundError``.  These tests make that
+failure mode one clearly named red test instead.
+"""
+
+import importlib
+
+import pytest
+
+#: Every package and module the library ships; importing each directly
+#: catches breakage even in modules the top-level __init__ skips.
+SUBMODULES = [
+    "repro.analysis",
+    "repro.backend",
+    "repro.bench",
+    "repro.buildsys",
+    "repro.buildsys.builddb",
+    "repro.buildsys.deps",
+    "repro.buildsys.incremental",
+    "repro.buildsys.report",
+    "repro.cli",
+    "repro.core",
+    "repro.driver",
+    "repro.frontend",
+    "repro.ir",
+    "repro.lowering",
+    "repro.passes",
+    "repro.passmanager",
+    "repro.vm",
+    "repro.workload",
+]
+
+
+def test_import_repro():
+    repro = importlib.import_module("repro")
+    assert repro.__version__
+
+
+def test_every_public_name_resolves():
+    repro = importlib.import_module("repro")
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, f"repro.{name} does not resolve"
+
+
+def test_all_is_sorted_sanely():
+    repro = importlib.import_module("repro")
+    assert len(set(repro.__all__)) == len(repro.__all__), "duplicate names in __all__"
+
+
+@pytest.mark.parametrize("module", SUBMODULES)
+def test_submodule_imports(module):
+    importlib.import_module(module)
+
+
+def test_buildsys_exports():
+    buildsys = importlib.import_module("repro.buildsys")
+    for name in buildsys.__all__:
+        assert getattr(buildsys, name, None) is not None, name
