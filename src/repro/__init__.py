@@ -23,7 +23,7 @@ Quickstart::
 See ``examples/`` for full scenarios.
 """
 
-from repro.buildsys import BuildDatabase, BuildReport, IncrementalBuilder
+from repro.buildsys import BuildDatabase, BuildOptions, BuildReport, IncrementalBuilder
 from repro.core import CompilerState, SkipPolicy, StatefulPassManager, summarize_log
 from repro.driver import Compiler, CompilerOptions, CompileResult
 from repro.frontend.includes import DiskFileProvider, MemoryFileProvider
@@ -40,6 +40,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BuildDatabase",
+    "BuildOptions",
     "BuildReport",
     "IncrementalBuilder",
     "CompilerState",

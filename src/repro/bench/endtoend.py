@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.buildsys.builddb import BuildDatabase
-from repro.buildsys.incremental import IncrementalBuilder
+from repro.buildsys.incremental import BuildOptions, IncrementalBuilder
 from repro.driver import CompilerOptions
 from repro.workload.edits import Edit, apply_edit, random_edit_sequence
 from repro.workload.generator import generate_project
@@ -70,13 +70,22 @@ def run_edit_trace(
     num_edits: int = 10,
     seed: int = 1,
     edits: list[Edit] | None = None,
+    jobs: int = 1,
+    executor: str = "process",
 ) -> dict[str, TraceResult]:
     """Run the edit-trace experiment for each variant.
 
     Every variant sees the identical project evolution; each keeps its
     own build database (and, if stateful, compiler state) across steps,
-    exactly like a developer's working tree.
+    exactly like a developer's working tree.  ``jobs > 1`` runs every
+    build on a worker pool, measuring the mechanism under ``make -j``
+    conditions.
     """
+    build_options = (
+        BuildOptions(jobs=1, executor="serial")
+        if jobs <= 1
+        else BuildOptions(jobs=jobs, executor=executor)
+    )
     spec0 = make_preset(preset, seed=seed)
     trace = edits if edits is not None else random_edit_sequence(spec0, num_edits, seed=seed)
 
@@ -92,14 +101,14 @@ def run_edit_trace(
         db = BuildDatabase()
 
         clean = IncrementalBuilder(
-            projects[0].provider(), projects[0].unit_paths, options, db
+            projects[0].provider(), projects[0].unit_paths, options, db, build_options
         ).build()
         result.clean_build_time = clean.total_wall_time
         result.clean_build_work = clean.total_pass_work
 
         for edit, project in zip(trace, projects[1:]):
             report = IncrementalBuilder(
-                project.provider(), project.unit_paths, options, db
+                project.provider(), project.unit_paths, options, db, build_options
             ).build()
             result.steps.append(
                 EditStepResult(

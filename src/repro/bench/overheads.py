@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass
 
 from repro.buildsys.builddb import BuildDatabase
-from repro.buildsys.incremental import IncrementalBuilder
+from repro.buildsys.incremental import BuildOptions, IncrementalBuilder
 from repro.core.state import CompilerState
 from repro.driver import CompilerOptions
 from repro.workload.generator import generate_project
@@ -40,10 +40,10 @@ class OverheadRow:
         return self.stateful_clean_time / self.stateless_clean_time - 1.0
 
 
-def _clean_build(project, options: CompilerOptions):
+def _clean_build(project, options: CompilerOptions, build_options: BuildOptions):
     db = BuildDatabase()
     report = IncrementalBuilder(
-        project.provider(), project.unit_paths, options, db
+        project.provider(), project.unit_paths, options, db, build_options
     ).build(link_output=False)
     return report, db
 
@@ -54,8 +54,15 @@ def overhead_report(
     opt_level: str = "O2",
     seed: int = 1,
     repeats: int = 5,
+    jobs: int = 1,
+    executor: str = "process",
 ) -> list[OverheadRow]:
     presets = presets or ["tiny", "small", "medium", "large"]
+    build_options = (
+        BuildOptions(jobs=1, executor="serial")
+        if jobs <= 1
+        else BuildOptions(jobs=jobs, executor=executor)
+    )
     rows = []
     for preset in presets:
         project = generate_project(make_preset(preset, seed=seed))
@@ -69,10 +76,12 @@ def overhead_report(
         pairs = []
         for _ in range(repeats):
             sl, _unused = _clean_build(
-                project, CompilerOptions(opt_level=opt_level, stateful=False)
+                project, CompilerOptions(opt_level=opt_level, stateful=False),
+                build_options,
             )
             sf, sf_db = _clean_build(
-                project, CompilerOptions(opt_level=opt_level, stateful=True)
+                project, CompilerOptions(opt_level=opt_level, stateful=True),
+                build_options,
             )
             pairs.append((sf.total_wall_time / sl.total_wall_time, sl, sf, sf_db))
         pairs.sort(key=lambda pair: pair[0])

@@ -31,6 +31,8 @@ class ReportConfig:
     num_edits: int = 8
     sweep_sizes: tuple[int, ...] = (1, 2, 4, 8, 16)
     seed: int = 1
+    #: Compile jobs per build for Table 2 / Table 3 (1 = classic serial).
+    jobs: int = 1
 
 
 def generate_report(config: ReportConfig | None = None) -> str:
@@ -38,7 +40,8 @@ def generate_report(config: ReportConfig | None = None) -> str:
     config = config or ReportConfig()
     sections: list[str] = [
         "repro evaluation report",
-        f"(presets={list(config.presets)}, edits={config.num_edits}, seed={config.seed})",
+        f"(presets={list(config.presets)}, edits={config.num_edits}, "
+        f"seed={config.seed}, jobs={config.jobs})",
         "",
     ]
     start = time.perf_counter()
@@ -79,7 +82,11 @@ def generate_report(config: ReportConfig | None = None) -> str:
     speedups = []
     for preset in config.headline_presets:
         traces = run_edit_trace(
-            preset, default_variants(), num_edits=config.num_edits, seed=config.seed
+            preset,
+            default_variants(),
+            num_edits=config.num_edits,
+            seed=config.seed,
+            jobs=config.jobs,
         )
         stateless, stateful = traces["stateless"], traces["stateful"]
         speedup = stateless.total_incremental_time / stateful.total_incremental_time
@@ -137,7 +144,7 @@ def generate_report(config: ReportConfig | None = None) -> str:
     )
 
     # -- Table 3 -------------------------------------------------------------------------
-    over = overhead_report(list(config.presets), seed=config.seed)
+    over = overhead_report(list(config.presets), seed=config.seed, jobs=config.jobs)
     sections.append(
         format_table(
             ["project", "clean overhead", "state KB", "records"],

@@ -17,14 +17,19 @@ instead of — a competent build system:
 - :mod:`repro.buildsys.incremental` — :class:`IncrementalBuilder`: the
   scheduler deciding, per unit, rebuild vs reuse, compiling via
   :mod:`repro.driver` and linking the result.
+- :mod:`repro.buildsys.parallel` — ``make -j`` for dirty units:
+  :class:`BuildOptions` (job count, executor kind) and the worker-pool
+  machinery; stateful builds stay deterministic via the compiler
+  state's snapshot/delta-merge protocol.
 - :mod:`repro.buildsys.report` — :class:`BuildReport`: per-build
-  accounting (recompiles, bypass statistics, wall/work totals) the
-  benchmarks and the ``reprobuild`` CLI consume.
+  accounting (recompiles, bypass statistics, wall/work totals, worker
+  attribution) the benchmarks and the ``reprobuild`` CLI consume.
 """
 
 from repro.buildsys.builddb import DB_SCHEMA_VERSION, BuildDatabase, UnitRecord
 from repro.buildsys.deps import DependencyScanner, DependencySnapshot, content_digest
 from repro.buildsys.incremental import IncrementalBuilder
+from repro.buildsys.parallel import BuildOptions, UnitOutcome
 from repro.buildsys.report import BuildReport, UnitBuildResult
 
 __all__ = [
@@ -35,6 +40,8 @@ __all__ = [
     "DependencySnapshot",
     "content_digest",
     "IncrementalBuilder",
+    "BuildOptions",
+    "UnitOutcome",
     "BuildReport",
     "UnitBuildResult",
 ]

@@ -9,11 +9,12 @@ variants plug into.  Per build it:
    any transitively included header's digest changed since the build
    database last saw them;
 3. compiles dirty units through :class:`repro.driver.Compiler` —
-   stateless or stateful per :class:`~repro.driver.CompilerOptions`;
-   for stateful builds the :class:`~repro.core.state.CompilerState`
-   embedded in the build DB is attached to the compiler (or replaced
-   when incompatible), advanced one build tick, and garbage-collected
-   afterwards;
+   stateless or stateful per :class:`~repro.driver.CompilerOptions`,
+   serially or on a worker pool per :class:`~repro.buildsys.parallel.BuildOptions`
+   (``jobs > 1`` runs the make ``-j`` analogue; for stateful builds each
+   worker compiles against a read-only state snapshot and the driver
+   merges the returned deltas in unit order, so results are
+   deterministic regardless of scheduling);
 4. reuses cached object JSON for up-to-date units;
 5. links everything into one runnable :class:`~repro.backend.linker.LinkedImage`.
 
@@ -21,6 +22,12 @@ The baseline file-level skipping (step 2/4) is deliberately identical
 for both variants: the paper's mechanism is measured as the *additional*
 win inside the units a competent build system already decided to
 recompile.
+
+Failure handling is transactional per unit: when a dirty unit fails to
+compile, every unit that already compiled successfully is still
+recorded in the database (and, stateful, its records merged into the
+live state) before the error propagates — a rebuild after the fix
+recompiles only the broken unit.
 """
 
 from __future__ import annotations
@@ -30,11 +37,13 @@ import time
 from repro.backend.linker import LinkedImage, link
 from repro.backend.objfile import ObjectFile
 from repro.buildsys.builddb import BuildDatabase
-from repro.buildsys.deps import DependencyScanner
+from repro.buildsys.deps import DependencyScanner, DependencySnapshot
+from repro.buildsys.parallel import BuildOptions, UnitOutcome, compile_units
 from repro.buildsys.report import BuildReport, UnitBuildResult
 from repro.core.statistics import BypassStatistics, summarize_log
 from repro.driver import Compiler, CompilerOptions
-from repro.frontend.includes import FileProvider
+from repro.frontend.diagnostics import CompileError
+from repro.frontend.includes import FileProvider, IncludeError
 
 
 class IncrementalBuilder:
@@ -52,11 +61,15 @@ class IncrementalBuilder:
         unit_paths: list[str],
         options: CompilerOptions | None = None,
         db: BuildDatabase | None = None,
+        build_options: BuildOptions | None = None,
     ):
         self.provider = provider
         self.unit_paths = list(unit_paths)
         self.options = options or CompilerOptions()
         self.db = db if db is not None else BuildDatabase()
+        self.build_options = (
+            build_options if build_options is not None else BuildOptions.from_env()
+        )
 
     # -- state plumbing -----------------------------------------------------
 
@@ -85,8 +98,9 @@ class IncrementalBuilder:
 
         Raises :class:`repro.frontend.diagnostics.CompileError` (or
         :class:`repro.frontend.includes.IncludeError`) if a dirty unit
-        fails to compile; the database keeps its previous records, so a
-        later build after the fix is still incremental.
+        fails to compile; the database keeps its previous records plus
+        the records of every unit that did compile, so a later build
+        after the fix is still incremental.
         """
         build_start = time.perf_counter()
 
@@ -98,14 +112,68 @@ class IncrementalBuilder:
             self._attach_state(compiler)
 
         report = BuildReport()
-        objects: dict[str, ObjectFile] = {}
+        dirty: list[str] = []
         for path in self.unit_paths:
-            snapshot = snapshots[path]
-            if self.db.up_to_date(snapshot):
+            if self.db.up_to_date(snapshots[path]):
                 report.up_to_date.append(path)
-                continue
+            else:
+                dirty.append(path)
+
+        jobs = 1
+        if self.build_options.executor != "serial":
+            jobs = min(self.build_options.resolved_jobs(), max(1, len(dirty)))
+        report.jobs = jobs
+
+        objects: dict[str, ObjectFile] = {}
+        phase_start = time.perf_counter()
+        if jobs <= 1:
+            error = self._compile_serial(compiler, snapshots, dirty, report, objects)
+        else:
+            error = self._compile_parallel(
+                compiler, snapshots, dirty, report, objects, jobs
+            )
+        report.compile_phase_time = time.perf_counter() - phase_start
+
+        if self.options.stateful and compiler.state is not None:
+            if error is None:
+                compiler.state.collect_garbage()
+            self.db.live_state = compiler.state
+            report.state_records = compiler.state.num_records
+
+        if error is not None:
+            raise error
+
+        self.db.prune(self.unit_paths)
+
+        if link_output:
             start = time.perf_counter()
-            result = compiler.compile_file(path)
+            report.image = self._link(objects)
+            report.link_time = time.perf_counter() - start
+
+        report.total_wall_time = time.perf_counter() - build_start
+        return report
+
+    # -- compile strategies -------------------------------------------------
+
+    def _compile_serial(
+        self,
+        compiler: Compiler,
+        snapshots: dict[str, DependencySnapshot],
+        dirty: list[str],
+        report: BuildReport,
+        objects: dict[str, ObjectFile],
+    ) -> Exception | None:
+        """The classic in-process loop (``-j 1``), shared mutable state.
+
+        Returns the first failure instead of raising so the caller can
+        finish the database bookkeeping before propagating it.
+        """
+        for path in dirty:
+            start = time.perf_counter()
+            try:
+                result = compiler.compile_file(path)
+            except (CompileError, IncludeError) as exc:
+                return exc
             wall = time.perf_counter() - start
 
             stats = summarize_log(result.events)
@@ -125,22 +193,84 @@ class IncrementalBuilder:
                 )
             )
             objects[path] = result.object_file
-            self.db.record_unit(snapshot, result.object_file.to_json())
+            self.db.record_unit(snapshots[path], result.object_file.to_json())
+        return None
 
-        self.db.prune(self.unit_paths)
+    def _compile_parallel(
+        self,
+        compiler: Compiler,
+        snapshots: dict[str, DependencySnapshot],
+        dirty: list[str],
+        report: BuildReport,
+        objects: dict[str, ObjectFile],
+        jobs: int,
+    ) -> Exception | None:
+        """Worker-pool compilation with deterministic unit-order merging.
 
+        Workers compile against a read-only snapshot of the live state
+        and outcomes are folded back in translation-unit order — object
+        records, report entries, and state-delta merges are all
+        independent of completion order, which is what makes a ``-j N``
+        build reproducible.
+        """
+        state_snapshot = None
         if self.options.stateful and compiler.state is not None:
-            compiler.state.collect_garbage()
-            self.db.live_state = compiler.state
-            report.state_records = compiler.state.num_records
+            state_snapshot = compiler.state.snapshot()
 
-        if link_output:
-            start = time.perf_counter()
-            report.image = self._link(objects)
-            report.link_time = time.perf_counter() - start
+        outcomes = compile_units(
+            self.provider,
+            self.options,
+            state_snapshot,
+            dirty,
+            jobs=jobs,
+            executor=self.build_options.executor,
+        )
 
-        report.total_wall_time = time.perf_counter() - build_start
-        return report
+        error: Exception | None = None
+        for path in dirty:
+            outcome = outcomes.get(path)
+            if outcome is None:  # abandoned after an earlier unit failed
+                continue
+            if outcome.failed:
+                if error is None:  # earliest failure in schedule order wins
+                    error = self._outcome_error(outcome)
+                continue
+            self._merge_outcome(outcome, snapshots[path], report, objects, compiler)
+        return error
+
+    @staticmethod
+    def _outcome_error(outcome: UnitOutcome) -> Exception:
+        try:
+            outcome.raise_error()
+        except Exception as exc:
+            return exc
+        raise AssertionError("outcome did not fail")  # pragma: no cover
+
+    def _merge_outcome(
+        self,
+        outcome: UnitOutcome,
+        snapshot: DependencySnapshot,
+        report: BuildReport,
+        objects: dict[str, ObjectFile],
+        compiler: Compiler,
+    ) -> None:
+        """Fold one successful worker outcome into the build products."""
+        report.bypass.merge(outcome.stats)
+        report.compiled.append(
+            UnitBuildResult(
+                path=outcome.path,
+                wall_time=outcome.wall_time,
+                pass_work=outcome.pass_work,
+                stats=outcome.stats,
+                fingerprint_time=outcome.fingerprint_time,
+                fingerprint_count=outcome.fingerprint_count,
+                worker=outcome.worker,
+            )
+        )
+        objects[outcome.path] = ObjectFile.from_json(outcome.object_json)
+        self.db.record_unit(snapshot, outcome.object_json)
+        if outcome.delta is not None and compiler.state is not None:
+            compiler.state.merge_delta(outcome.delta)
 
     def _link(self, fresh: dict[str, ObjectFile]) -> LinkedImage:
         """Link fresh and cached objects in unit order."""
@@ -155,4 +285,9 @@ class IncrementalBuilder:
 
 # Re-exported here because the build() return type is defined in
 # report.py but callers naturally import it from the builder module.
-__all__ = ["IncrementalBuilder", "BuildReport", "BypassStatistics"]
+__all__ = [
+    "IncrementalBuilder",
+    "BuildReport",
+    "BuildOptions",
+    "BypassStatistics",
+]

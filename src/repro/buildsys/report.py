@@ -26,6 +26,8 @@ class UnitBuildResult:
     #: Statefulness overhead for this unit (0 for stateless builds).
     fingerprint_time: float = 0.0
     fingerprint_count: int = 0
+    #: Who compiled it: "main" (serial), "pid-<n>", or a worker-thread name.
+    worker: str = "main"
 
 
 @dataclass
@@ -46,10 +48,31 @@ class BuildReport:
     state_records: int = 0
     #: The linked executable (``None`` when built with link_output=False).
     image: LinkedImage | None = None
+    #: Concurrent compile jobs actually used for this build.
+    jobs: int = 1
+    #: Wall-clock seconds for the whole compile phase (all workers);
+    #: equals the summed per-unit times when serial, less when parallel.
+    compile_phase_time: float = 0.0
 
     @property
     def num_recompiled(self) -> int:
         return len(self.compiled)
+
+    @property
+    def num_workers(self) -> int:
+        """Distinct workers that actually compiled at least one unit."""
+        return len({unit.worker for unit in self.compiled})
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Summed per-unit compile seconds over compile-phase wall time.
+
+        ~1.0 for serial builds; approaches ``jobs`` under perfect
+        scaling.  0.0 when nothing was compiled.
+        """
+        if not self.compiled or self.compile_phase_time <= 0.0:
+            return 0.0
+        return self.compile_wall_time / self.compile_phase_time
 
     @property
     def total_pass_work(self) -> int:
@@ -63,7 +86,13 @@ class BuildReport:
 
     def describe(self) -> str:
         """One-line human summary (the ``reprobuild`` status format)."""
-        return (
+        line = (
             f"{self.num_recompiled} recompiled, {len(self.up_to_date)} up-to-date, "
             f"{self.total_wall_time:.3f}s total"
         )
+        if self.jobs > 1:
+            line += (
+                f" (-j {self.jobs}: {self.num_workers} workers, "
+                f"{self.parallel_speedup:.2f}x parallel speedup)"
+            )
+        return line

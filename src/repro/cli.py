@@ -21,6 +21,7 @@ from pathlib import Path
 from repro.backend.linker import link
 from repro.buildsys.builddb import BuildDatabase
 from repro.buildsys.incremental import IncrementalBuilder
+from repro.buildsys.parallel import BuildOptions
 from repro.core.policies import SkipPolicy
 from repro.core.state import CompilerState
 from repro.core.statistics import summarize_log
@@ -150,6 +151,10 @@ def reproc_main(argv: list[str] | None = None) -> int:
 
 def reprobench_main(argv: list[str] | None = None) -> int:
     """Run the full evaluation and print/write the combined report."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "parallel":
+        return reprobench_parallel_main(argv[1:])
+
     parser = argparse.ArgumentParser(prog="reprobench", description="evaluation report")
     parser.add_argument("-o", "--output", help="write the report to a file as well")
     parser.add_argument(
@@ -158,11 +163,15 @@ def reprobench_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--edits", type=int, default=8, help="edit-trace length")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="compile jobs per build in the experiments (default 1 = serial)",
+    )
     args = parser.parse_args(argv)
 
     from repro.bench.report import ReportConfig, generate_report
 
-    config = ReportConfig(num_edits=args.edits, seed=args.seed)
+    config = ReportConfig(num_edits=args.edits, seed=args.seed, jobs=args.jobs)
     if args.presets:
         config = ReportConfig(
             presets=tuple(args.presets),
@@ -170,6 +179,7 @@ def reprobench_main(argv: list[str] | None = None) -> int:
             dormancy_preset=args.presets[-1],
             num_edits=args.edits,
             seed=args.seed,
+            jobs=args.jobs,
         )
     report = generate_report(config)
     print(report)
@@ -178,11 +188,66 @@ def reprobench_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def reprobench_parallel_main(argv: list[str] | None = None) -> int:
+    """``reprobench parallel``: the -j scaling sweep (Figure 11)."""
+    parser = argparse.ArgumentParser(
+        prog="reprobench parallel",
+        description="clean-build wall time, speedup, and efficiency per job count",
+    )
+    parser.add_argument("--preset", default="large", help="project preset (default large)")
+    parser.add_argument(
+        "--jobs", default="1,2,4,8",
+        help="comma-separated job counts to sweep (default 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--executor", choices=["process", "thread"], default="process",
+        help="worker pool kind (default process)",
+    )
+    parser.add_argument("--stateful", action="store_true", help="sweep the stateful compiler")
+    parser.add_argument("--repeats", type=int, default=3, help="builds per point; best kept")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "-o", "--output", default="benchmarks/results/fig11_parallel.txt",
+        help="result file (default benchmarks/results/fig11_parallel.txt)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.parallel import format_parallel_sweep, parallel_sweep
+
+    try:
+        jobs = [int(j) for j in args.jobs.split(",") if j.strip()]
+    except ValueError:
+        print(f"reprobench parallel: bad --jobs list: {args.jobs}", file=sys.stderr)
+        return 2
+    points = parallel_sweep(
+        args.preset,
+        jobs,
+        executor=args.executor,
+        stateful=args.stateful,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    text = format_parallel_sweep(args.preset, points, stateful=args.stateful)
+    print(text)
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(text + "\n")
+    return 0
+
+
 def reprobuild_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="reprobuild", description="incremental builder")
     parser.add_argument("directory", help="project directory containing .mc/.mh files")
     _common_compiler_flags(parser)
     parser.add_argument("--db", default="build.reprodb", help="build database path")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="concurrent compile jobs (default: CPU count; -j 1 = classic serial)",
+    )
+    parser.add_argument(
+        "--executor", choices=["process", "thread", "serial"], default="process",
+        help="worker pool kind for -j > 1 (default process)",
+    )
     parser.add_argument("--run", action="store_true", help="execute the linked image")
     parser.add_argument("--entry", default="main", help="entry function (default main)")
     args = parser.parse_args(argv)
@@ -198,12 +263,18 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
 
     db = BuildDatabase.load(args.db)
     options = _options_from_args(args)
-    builder = IncrementalBuilder(project.provider(), project.unit_paths, options, db)
+    build_options = BuildOptions(jobs=args.jobs, executor=args.executor)
+    builder = IncrementalBuilder(
+        project.provider(), project.unit_paths, options, db, build_options
+    )
 
     start = time.perf_counter()
     try:
         report = builder.build()
     except CompileError as exc:
+        # Units that compiled before the failure are already recorded;
+        # persisting them keeps the post-fix rebuild incremental.
+        db.save(args.db)
         for diag in exc.diagnostics:
             print(diag.render(), file=sys.stderr)
         return 1
@@ -215,6 +286,12 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
         f"{elapsed:.3f}s total",
         file=sys.stderr,
     )
+    if report.jobs > 1:
+        print(
+            f"parallel: -j {report.jobs}, {report.num_workers} workers, "
+            f"{report.parallel_speedup:.2f}x compile-phase speedup",
+            file=sys.stderr,
+        )
     if options.stateful:
         print(
             f"state: {report.state_records} records ({db_bytes} bytes with build DB); "

@@ -19,13 +19,25 @@ by position) and fingerprint mode; a mismatch invalidates the whole
 state, as does a schema version bump.  Entries unused for
 ``gc_max_age`` consecutive builds are garbage-collected so the file
 does not grow without bound as code churns.
+
+For parallel builds the state additionally supports a snapshot/delta
+protocol (:meth:`CompilerState.snapshot`, :meth:`CompilerState.extract_delta`,
+:meth:`CompilerState.merge_delta`): each build worker compiles against a
+read-only copy of the records taken at build start and hands back only
+the records it created or refreshed; the build driver folds those
+:class:`StateDelta` objects into the live state in a deterministic
+order.  Because records are keyed by content fingerprints and passes
+are deterministic, two workers that write the same key necessarily
+write the same dormancy verdict, so last-writer-wins merging is safe —
+and the merged state is record-for-record what a serial build of the
+same units would have produced.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 STATE_SCHEMA_VERSION = 3
@@ -43,6 +55,27 @@ class DormancyRecord:
 
 
 @dataclass
+class StateDelta:
+    """Records created or refreshed while compiling against a snapshot.
+
+    The payload of the parallel-build merge protocol: a worker tracks
+    every record it touched (new dormancy verdicts and GC-timestamp
+    refreshes alike) and ships just those back to the build driver.
+    All ``last_used_build`` values in a delta equal ``build_counter`` —
+    by construction a worker only touches records during its own build
+    tick — which is what makes merged garbage collection behave exactly
+    like a serial build's.
+    """
+
+    build_counter: int
+    records: dict[tuple[int, str], DormancyRecord] = field(default_factory=dict)
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+
+@dataclass
 class CompilerState:
     """In-memory compiler state, serializable to one JSON file."""
 
@@ -51,6 +84,10 @@ class CompilerState:
     build_counter: int = 0
     gc_max_age: int = 50
     records: dict[tuple[int, str], DormancyRecord] = field(default_factory=dict)
+    #: Keys touched since :meth:`begin_delta_tracking`; ``None`` = not tracking.
+    _touched: set[tuple[int, str]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- record access ------------------------------------------------------
 
@@ -59,6 +96,8 @@ class CompilerState:
         record = self.records.get((position, fingerprint))
         if record is not None:
             record.last_used_build = self.build_counter
+            if self._touched is not None:
+                self._touched.add((position, fingerprint))
         return record
 
     def remember(
@@ -67,6 +106,8 @@ class CompilerState:
         self.records[(position, fingerprint_in)] = DormancyRecord(
             dormant, fingerprint_out, self.build_counter
         )
+        if self._touched is not None:
+            self._touched.add((position, fingerprint_in))
 
     def begin_build(self) -> None:
         """Advance the build counter (called once per build by the driver)."""
@@ -83,6 +124,67 @@ class CompilerState:
     @property
     def num_records(self) -> int:
         return len(self.records)
+
+    # -- parallel-build snapshot/delta protocol -----------------------------
+
+    def snapshot(self) -> "CompilerState":
+        """An independent copy for one worker to compile against.
+
+        Records are copied individually because :meth:`lookup` mutates
+        ``last_used_build`` in place — a worker must never write through
+        to the live state it was snapshotted from.
+        """
+        return CompilerState(
+            pipeline_signature=self.pipeline_signature,
+            fingerprint_mode=self.fingerprint_mode,
+            build_counter=self.build_counter,
+            gc_max_age=self.gc_max_age,
+            records={key: replace(record) for key, record in self.records.items()},
+        )
+
+    def begin_delta_tracking(self) -> None:
+        """Start recording which keys :meth:`lookup`/:meth:`remember` touch."""
+        self._touched = set()
+
+    def extract_delta(self) -> StateDelta:
+        """The records touched since :meth:`begin_delta_tracking`.
+
+        Touched keys include GC-timestamp refreshes from lookup hits,
+        not just new verdicts: a record a worker merely *consulted* must
+        survive garbage collection exactly as it would in a serial build.
+        """
+        if self._touched is None:
+            raise RuntimeError("extract_delta() without begin_delta_tracking()")
+        return StateDelta(
+            build_counter=self.build_counter,
+            records={
+                key: replace(self.records[key])
+                for key in self._touched
+                if key in self.records
+            },
+        )
+
+    def merge_delta(self, delta: StateDelta) -> int:
+        """Fold one worker's delta into this state; returns records merged.
+
+        Last-writer-wins on conflicting keys: the merge order (the build
+        driver uses translation-unit order, independent of completion
+        order) picks the surviving verdict.  Conflicting writers saw the
+        same (position, fingerprint) and passes are deterministic, so
+        the verdicts are identical anyway — the policy only matters for
+        the GC timestamp, which is kept at the maximum so a record used
+        by *any* worker stays as fresh as the freshest use.
+        """
+        for key, incoming in delta.records.items():
+            existing = self.records.get(key)
+            merged = replace(incoming)
+            if existing is not None:
+                merged.last_used_build = max(
+                    existing.last_used_build, incoming.last_used_build
+                )
+            self.records[key] = merged
+        self.build_counter = max(self.build_counter, delta.build_counter)
+        return len(delta.records)
 
     # -- compatibility ---------------------------------------------------------
 

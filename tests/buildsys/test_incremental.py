@@ -36,9 +36,9 @@ FILES = {
 UNITS = ["extra.mc", "main.mc", "util.mc"]
 
 
-def build(files, db, units=UNITS, link_output=True, **options):
+def build(files, db, units=UNITS, link_output=True, build_options=None, **options):
     builder = IncrementalBuilder(
-        MemoryFileProvider(files), units, CompilerOptions(**options), db
+        MemoryFileProvider(files), units, CompilerOptions(**options), db, build_options
     )
     return builder.build(link_output=link_output)
 
@@ -100,6 +100,36 @@ class TestScheduling:
         report = build(FILES, BuildDatabase(), link_output=False)
         assert report.image is None and report.link_time == 0.0
         assert report.num_recompiled == 3
+
+
+class TestMidBuildFailure:
+    def test_unit_2_of_3_fails_rebuild_after_fix_is_incremental(self):
+        from repro.buildsys.parallel import BuildOptions
+        from repro.frontend.diagnostics import CompileError
+
+        # The serial loop specifically (the parallel analogue lives in
+        # test_parallel.py): schedule order is [extra.mc, main.mc,
+        # util.mc], so breaking the middle unit leaves a success before
+        # the failure point and an unreached unit after it.
+        serial = BuildOptions(jobs=1, executor="serial")
+        broken = dict(FILES, **{"main.mc": "int main() { return missing_fn(); }\n"})
+        db = BuildDatabase()
+        with pytest.raises(CompileError):
+            build(broken, db, stateful=True, build_options=serial)
+
+        # The unit compiled before the failure is recorded; the broken
+        # one is not; the one never reached is not.
+        assert "extra.mc" in db.units
+        assert "main.mc" not in db.units and "util.mc" not in db.units
+        # Partial compiler state still landed in the DB.
+        assert db.live_state is not None and db.live_state.num_records > 0
+
+        report = build(FILES, db, stateful=True)
+        assert "extra.mc" in report.up_to_date
+        assert sorted(u.path for u in report.compiled) == ["main.mc", "util.mc"]
+        assert VirtualMachine(report.image).run().output == [42]
+        # And a further noop rebuild touches nothing at all.
+        assert build(FILES, db, stateful=True).num_recompiled == 0
 
 
 class TestMissingHeader:

@@ -1,0 +1,181 @@
+"""Parallel builds: determinism vs serial, state merging, failure handling."""
+
+import os
+
+import pytest
+
+from repro.buildsys.builddb import BuildDatabase
+from repro.buildsys.incremental import IncrementalBuilder
+from repro.buildsys.parallel import BuildOptions, compile_unit
+from repro.driver import Compiler, CompilerOptions
+from repro.frontend.diagnostics import CompileError
+from repro.frontend.includes import MemoryFileProvider
+from repro.vm.machine import VirtualMachine
+
+FILES = {
+    "util.mh": (
+        "const int SCALE = 3;\n"
+        "int util_scale(int x);\n"
+        "int util_clamp(int x, int lo, int hi);\n"
+    ),
+    "util.mc": (
+        'include "util.mh";\n'
+        "int util_scale(int x) { return x * SCALE; }\n"
+        "int util_clamp(int x, int lo, int hi) {\n"
+        "  if (x < lo) return lo;\n"
+        "  if (x > hi) return hi;\n"
+        "  return x;\n"
+        "}\n"
+    ),
+    "extra.mc": "int unused_helper(int x) { return x - 1; }\n",
+    "main.mc": (
+        'include "util.mh";\n'
+        "int checksum(int a, int b) { return a * 31 + b; }\n"
+        "int main() { print(util_scale(14)); return checksum(3, 4) - checksum(3, 4); }\n"
+    ),
+}
+UNITS = ["extra.mc", "main.mc", "util.mc"]
+
+#: The thread executor exercises the identical snapshot/delta protocol
+#: without fork, so the suite stays fast and sandbox-proof; one process
+#: test covers the pickling path.
+THREADS4 = BuildOptions(jobs=4, executor="thread")
+SERIAL = BuildOptions(jobs=1, executor="serial")
+
+
+def build(files, db, units=UNITS, build_options=THREADS4, link_output=True, **options):
+    builder = IncrementalBuilder(
+        MemoryFileProvider(files), units, CompilerOptions(**options), db, build_options
+    )
+    return builder.build(link_output=link_output)
+
+
+def image_key(image):
+    return (image.code, image.functions, image.global_base, image.data)
+
+
+class TestBuildOptions:
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            BuildOptions(executor="fibers")
+
+    def test_jobs_none_means_cpu_count(self):
+        assert BuildOptions(jobs=None).resolved_jobs() == (os.cpu_count() or 1)
+
+    def test_from_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUILD_JOBS", "4")
+        monkeypatch.setenv("REPRO_BUILD_EXECUTOR", "thread")
+        options = BuildOptions.from_env()
+        assert options.jobs == 4 and options.executor == "thread"
+
+    def test_from_env_defaults_serial_behavior(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BUILD_JOBS", raising=False)
+        assert BuildOptions.from_env().resolved_jobs() == 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("stateful", [False, True])
+    def test_parallel_matches_serial(self, stateful):
+        db_s, db_p = BuildDatabase(), BuildDatabase()
+        serial = build(FILES, db_s, build_options=SERIAL, stateful=stateful)
+        parallel = build(FILES, db_p, stateful=stateful)
+
+        assert parallel.jobs == 3  # capped at the dirty-unit count
+        assert image_key(serial.image) == image_key(parallel.image)
+        assert serial.state_records == parallel.state_records
+        for path in UNITS:
+            assert db_s.units[path].object_json == db_p.units[path].object_json
+        assert VirtualMachine(parallel.image).run().output == [42]
+
+    def test_process_pool_matches_serial(self):
+        db_s, db_p = BuildDatabase(), BuildDatabase()
+        serial = build(FILES, db_s, build_options=SERIAL, stateful=True)
+        parallel = build(
+            FILES, db_p, build_options=BuildOptions(jobs=4), stateful=True
+        )
+        assert image_key(serial.image) == image_key(parallel.image)
+        assert serial.state_records == parallel.state_records
+
+    def test_incremental_rebuild_under_parallelism(self):
+        db = BuildDatabase()
+        build(FILES, db, stateful=True)
+        edited = dict(FILES, **{"main.mc": FILES["main.mc"].replace("14", "21")})
+        report = build(edited, db, stateful=True)
+        assert [u.path for u in report.compiled] == ["main.mc"]
+        assert report.jobs == 1  # one dirty unit: no pool spun up
+        assert report.bypass.bypassed > 0  # records from the parallel clean build
+        assert VirtualMachine(report.image).run().output == [63]
+
+    def test_gc_prunes_like_serial_after_parallel_build(self):
+        reports = {}
+        for name, build_options in (("serial", SERIAL), ("parallel", THREADS4)):
+            db = BuildDatabase()
+            build(FILES, db, build_options=build_options, stateful=True)
+            db.live_state.gc_max_age = 0  # prune everything this build didn't touch
+            edited = dict(FILES, **{"main.mc": FILES["main.mc"].replace("14", "21")})
+            reports[name] = (
+                build(edited, db, build_options=build_options, stateful=True),
+                db.live_state.num_records,
+            )
+        assert reports["serial"][1] == reports["parallel"][1]
+
+
+class TestReportAttribution:
+    def test_workers_and_speedup_reported(self):
+        report = build(FILES, BuildDatabase())
+        assert report.jobs > 1
+        assert all(unit.worker.startswith("reprobuild") for unit in report.compiled)
+        assert 1 <= report.num_workers <= report.jobs
+        assert report.parallel_speedup > 0.0
+        assert f"-j {report.jobs}" in report.describe()
+
+    def test_serial_report_unchanged(self):
+        report = build(FILES, BuildDatabase(), build_options=SERIAL)
+        assert report.jobs == 1 and report.num_workers == 1
+        assert all(unit.worker == "main" for unit in report.compiled)
+        assert "-j" not in report.describe()
+
+
+class TestFailure:
+    def test_failed_unit_reports_earliest_error_and_keeps_good_units(self):
+        files = dict(FILES, **{"main.mc": "int main() { return undefined_fn(); }\n"})
+        db = BuildDatabase()
+        with pytest.raises(CompileError):
+            build(files, db)
+        # Deterministic DB contents despite arbitrary completion order:
+        # every successfully compiled unit is recorded, the broken one is not.
+        assert "main.mc" not in db.units
+        assert set(db.units) <= {"extra.mc", "util.mc"}
+
+        report = build(FILES, db)
+        assert "main.mc" in [u.path for u in report.compiled]
+        assert set(u.path for u in report.compiled) | set(report.up_to_date) == set(UNITS)
+        assert VirtualMachine(report.image).run().output == [42]
+
+
+class TestCompileUnitHelper:
+    def test_outcome_round_trips_object_and_delta(self):
+        provider = MemoryFileProvider(FILES)
+        options = CompilerOptions(stateful=True)
+        state = Compiler(provider, options).state.snapshot()
+        outcome = compile_unit(provider, options, state, "util.mc", worker="w0")
+        assert not outcome.failed and outcome.worker == "w0"
+        assert outcome.delta is not None and outcome.delta.num_records > 0
+        assert state.num_records == 0  # the shipped snapshot stays pristine
+
+    def test_outcome_captures_compile_error(self):
+        provider = MemoryFileProvider({"bad.mc": "int main() { return nope(); }\n"})
+        outcome = compile_unit(provider, CompilerOptions(), None, "bad.mc")
+        assert outcome.failed and outcome.error_kind == "compile"
+        assert outcome.diagnostics
+        with pytest.raises(CompileError):
+            outcome.raise_error()
+
+    def test_outcome_captures_include_error(self):
+        from repro.frontend.includes import IncludeError
+
+        provider = MemoryFileProvider({"bad.mc": 'include "gone.mh";\nint main() { return 0; }\n'})
+        outcome = compile_unit(provider, CompilerOptions(), None, "bad.mc")
+        assert outcome.failed and outcome.error_kind == "include"
+        with pytest.raises(IncludeError):
+            outcome.raise_error()

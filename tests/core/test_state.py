@@ -137,3 +137,105 @@ class TestPipelineSignature:
     def test_signature_has_indexed_names(self):
         sig = pipeline_signature_of(build_pipeline("O1"))
         assert sig.startswith("0:mem2reg")
+
+
+class TestSnapshotDelta:
+    """The parallel-build snapshot/delta-merge protocol."""
+
+    def test_snapshot_is_isolated(self):
+        state = make_state(build_counter=7)
+        state.remember(0, "a", True, "a")
+        snap = state.snapshot()
+        assert snap.build_counter == 7 and snap.num_records == 1
+
+        # Writes to the snapshot never reach the original...
+        snap.remember(1, "b", False, "b2")
+        assert state.lookup(1, "b") is None
+        # ...and lookup's in-place GC refresh doesn't either.
+        snap.build_counter = 99
+        snap.lookup(0, "a")
+        assert state.records[(0, "a")].last_used_build == 7
+
+    def test_extract_delta_requires_tracking(self):
+        with pytest.raises(RuntimeError):
+            make_state().extract_delta()
+
+    def test_delta_contains_writes_and_lookup_refreshes(self):
+        state = make_state(build_counter=3)
+        state.remember(0, "old", True, "old")
+        state.remember(0, "untouched", True, "untouched")
+        state.build_counter = 4
+        state.begin_delta_tracking()
+        state.lookup(0, "old")            # refresh only
+        state.lookup(5, "miss")           # miss: not in the delta
+        state.remember(1, "new", False, "new2")
+        delta = state.extract_delta()
+        assert set(delta.records) == {(0, "old"), (1, "new")}
+        assert delta.build_counter == 4
+        # Everything a worker touched is stamped with its build tick.
+        assert all(r.last_used_build == 4 for r in delta.records.values())
+
+    def test_delta_records_are_copies(self):
+        state = make_state()
+        state.begin_delta_tracking()
+        state.remember(0, "a", True, "a")
+        delta = state.extract_delta()
+        delta.records[(0, "a")].dormant = False
+        assert state.records[(0, "a")].dormant
+
+    def test_merge_disjoint_deltas_is_order_independent(self):
+        def worker_delta(position, fp):
+            snap = make_state(build_counter=2)
+            snap.begin_delta_tracking()
+            snap.remember(position, fp, True, fp)
+            return snap.extract_delta()
+
+        a, b = worker_delta(0, "f1"), worker_delta(3, "f2")
+        ab, ba = make_state(build_counter=2), make_state(build_counter=2)
+        ab.merge_delta(a), ab.merge_delta(b)
+        ba.merge_delta(b), ba.merge_delta(a)
+        assert ab.records == ba.records
+        assert ab.num_records == 2
+
+    def test_merge_same_key_is_last_writer_wins(self):
+        from repro.core.state import StateDelta
+
+        state = make_state(build_counter=5)
+        first = StateDelta(5, {(0, "f"): DormancyRecord(True, "f", 5)})
+        second = StateDelta(5, {(0, "f"): DormancyRecord(False, "f2", 5)})
+        state.merge_delta(first)
+        state.merge_delta(second)
+        assert state.num_records == 1
+        record = state.records[(0, "f")]
+        assert not record.dormant and record.fingerprint_out == "f2"
+
+    def test_merge_keeps_freshest_gc_timestamp(self):
+        from repro.core.state import StateDelta
+
+        state = make_state(build_counter=10)
+        state.records[(0, "f")] = DormancyRecord(True, "f", 9)
+        stale_delta = StateDelta(10, {(0, "f"): DormancyRecord(True, "f", 4)})
+        state.merge_delta(stale_delta)
+        assert state.records[(0, "f")].last_used_build == 9
+
+    def test_gc_after_merge_prunes_like_serial(self):
+        # A record only touched by one worker must survive GC exactly as
+        # if the serial loop had consulted it; an untouched ancient
+        # record must be pruned either way.
+        def run(merge_parallel):
+            state = make_state(build_counter=50, gc_max_age=10)
+            state.records[(0, "hot")] = DormancyRecord(True, "hot", 49)
+            state.records[(0, "cold")] = DormancyRecord(True, "cold", 5)
+            state.build_counter = 51
+            if merge_parallel:
+                snap = state.snapshot()
+                snap.begin_delta_tracking()
+                snap.lookup(0, "hot")
+                state.merge_delta(snap.extract_delta())
+            else:
+                state.lookup(0, "hot")
+            state.collect_garbage()
+            return dict(state.records)
+
+        assert run(True) == run(False)
+        assert (0, "cold") not in run(True)
