@@ -1,0 +1,99 @@
+"""Observability overhead guard — disabled tracing must stay <2%.
+
+The tracer hooks sit on the compiler's hottest paths (one
+``tracer.add`` per executed pass).  When tracing is off those calls hit
+:data:`~repro.obs.trace.NULL_TRACER` no-ops; this guard measures what a
+clean demo build actually pays for them: the per-call no-op cost, times
+the number of hook calls the build makes, against the build's wall
+time.  It also reports the cost of tracing *enabled* for context (that
+one is informational — users opted in with ``--trace-out``).
+"""
+
+import time
+
+from bench_util import DEFAULT_SEED, publish, run_once
+
+from repro.buildsys.builddb import BuildDatabase
+from repro.buildsys.incremental import IncrementalBuilder
+from repro.driver import CompilerOptions
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.workload.generator import generate_project
+from repro.workload.spec import make_preset
+
+#: Acceptance bound: hook calls with tracing disabled cost less than
+#: this fraction of a clean build.
+NOOP_BUDGET = 0.02
+
+
+def _clean_build(project, tracer):
+    builder = IncrementalBuilder(
+        project.provider(),
+        project.unit_paths,
+        CompilerOptions(stateful=True),
+        BuildDatabase(),
+        tracer=tracer,
+    )
+    start = time.perf_counter()
+    report = builder.build()
+    return report, time.perf_counter() - start
+
+
+def _noop_call_cost(calls: int = 200_000) -> float:
+    """Measured seconds per NULL_TRACER.add call (amortized)."""
+    start = time.perf_counter()
+    for _ in range(calls):
+        NULL_TRACER.add("pass", "pass", 0.0, 0.0, function="f", changed=False)
+    return (time.perf_counter() - start) / calls
+
+
+def _hook_calls(report) -> int:
+    """Upper bound on tracer hook calls during the measured build.
+
+    One ``add`` per executed/module pass span, per unit span, per
+    compile-phase span (4 per unit), plus a handful of driver phases.
+    Bypassed passes never reach the tracer.
+    """
+    counters = report.metrics["counters"]
+    executed = counters.get("passes.executed", 0) + counters.get(
+        "passes.module_executed", 0
+    )
+    units = report.num_recompiled
+    return executed + 5 * units + 8
+
+
+def test_noop_tracer_overhead_under_budget(benchmark):
+    def experiment():
+        project = generate_project(make_preset("small", seed=DEFAULT_SEED))
+        # Median of 3 to keep single-run scheduler noise out of the guard.
+        samples = [_clean_build(project, NULL_TRACER) for _ in range(3)]
+        report, build_time = sorted(samples, key=lambda s: s[1])[1]
+        _, traced_time = _clean_build(project, Tracer())
+
+        calls = _hook_calls(report)
+        per_call = _noop_call_cost()
+        noop_overhead = calls * per_call / build_time
+        return report, build_time, traced_time, calls, per_call, noop_overhead
+
+    report, build_time, traced_time, calls, per_call, noop_overhead = run_once(
+        benchmark, experiment
+    )
+
+    publish(
+        "obs_overhead",
+        "\n".join(
+            [
+                "Observability overhead (clean 'small' stateful build)",
+                f"  build wall time          : {build_time:.3f} s",
+                f"  tracer hook calls        : {calls}",
+                f"  no-op cost per call      : {per_call * 1e9:.0f} ns",
+                f"  disabled-tracing overhead: {noop_overhead:.3%} (budget {NOOP_BUDGET:.0%})",
+                f"  enabled-tracing build    : {traced_time:.3f} s "
+                f"({traced_time / build_time - 1:+.1%}, informational)",
+            ]
+        ),
+    )
+
+    assert noop_overhead < NOOP_BUDGET, (
+        f"disabled tracing costs {noop_overhead:.2%} of a clean build"
+        f" ({calls} calls at {per_call * 1e9:.0f} ns)"
+    )

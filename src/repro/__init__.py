@@ -27,6 +27,7 @@ from repro.buildsys import BuildDatabase, BuildOptions, BuildReport, Incremental
 from repro.core import CompilerState, SkipPolicy, StatefulPassManager, summarize_log
 from repro.driver import Compiler, CompilerOptions, CompileResult
 from repro.frontend.includes import DiskFileProvider, MemoryFileProvider
+from repro.obs import MetricsRegistry, Tracer
 from repro.vm import IRInterpreter, VirtualMachine, run_module
 from repro.workload import (
     Project,
@@ -52,6 +53,8 @@ __all__ = [
     "CompileResult",
     "DiskFileProvider",
     "MemoryFileProvider",
+    "MetricsRegistry",
+    "Tracer",
     "IRInterpreter",
     "VirtualMachine",
     "run_module",

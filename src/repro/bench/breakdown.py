@@ -11,8 +11,7 @@ from dataclasses import dataclass
 
 from repro.buildsys.builddb import BuildDatabase
 from repro.buildsys.incremental import IncrementalBuilder
-from repro.core.statistics import summarize_log
-from repro.driver import Compiler, CompilerOptions
+from repro.driver import CompilerOptions
 from repro.workload.edits import Edit, EditKind, apply_edit
 from repro.workload.generator import generate_project
 from repro.workload.spec import make_preset

@@ -23,22 +23,33 @@ instead of — a competent build system:
   state's snapshot/delta-merge protocol.
 - :mod:`repro.buildsys.report` — :class:`BuildReport`: per-build
   accounting (recompiles, bypass statistics, wall/work totals, worker
-  attribution) the benchmarks and the ``reprobuild`` CLI consume.
+  attribution) with a stable JSON schema
+  (``reprobuild --report-json``) the benchmarks, CI artifacts, and the
+  ``reprobuild`` CLI consume.
+- :mod:`repro.buildsys.explain` — :class:`RebuildReason` and
+  ``reprobuild explain``: why each unit was rebuilt or skipped (source
+  digest change vs header-closure change vs up to date), kept
+  decision-identical to :meth:`BuildDatabase.up_to_date`.
 """
 
 from repro.buildsys.builddb import DB_SCHEMA_VERSION, BuildDatabase, UnitRecord
 from repro.buildsys.deps import DependencyScanner, DependencySnapshot, content_digest
+from repro.buildsys.explain import RebuildReason, explain_unit, rebuild_reason
 from repro.buildsys.incremental import IncrementalBuilder
 from repro.buildsys.parallel import BuildOptions, UnitOutcome
-from repro.buildsys.report import BuildReport, UnitBuildResult
+from repro.buildsys.report import REPORT_SCHEMA_VERSION, BuildReport, UnitBuildResult
 
 __all__ = [
     "DB_SCHEMA_VERSION",
+    "REPORT_SCHEMA_VERSION",
     "BuildDatabase",
     "UnitRecord",
     "DependencyScanner",
     "DependencySnapshot",
     "content_digest",
+    "RebuildReason",
+    "rebuild_reason",
+    "explain_unit",
     "IncrementalBuilder",
     "BuildOptions",
     "UnitOutcome",

@@ -30,7 +30,11 @@ from pathlib import Path
 from repro.buildsys.deps import DependencySnapshot
 from repro.core.state import CompilerState
 
-DB_SCHEMA_VERSION = 1
+#: v2 added per-unit observability (pass statistics, wall time, worker)
+#: so ``reprobuild explain`` can report where a unit's compile time
+#: went; v1 files still load, with those fields empty.
+DB_SCHEMA_VERSION = 2
+_READABLE_SCHEMAS = (1, 2)
 
 
 @dataclass
@@ -43,6 +47,14 @@ class UnitRecord:
     dep_digests: dict[str, str | None]
     #: The compiled object, cached verbatim for up-to-date reuse.
     object_json: str
+    #: Bypass statistics of the recording compile
+    #: (:meth:`~repro.core.statistics.BypassStatistics.to_dict` payload;
+    #: empty for records loaded from v1 databases).
+    stats: dict = field(default_factory=dict)
+    #: Wall-clock seconds of the recording compile (0.0 = unknown).
+    wall_time: float = 0.0
+    #: Who compiled it: "main", "pid-<n>", or a worker-thread name.
+    worker: str = "main"
 
 
 @dataclass
@@ -67,7 +79,15 @@ class BuildDatabase:
             and record.dep_digests == snapshot.dep_digests
         )
 
-    def record_unit(self, snapshot: DependencySnapshot, object_json: str) -> None:
+    def record_unit(
+        self,
+        snapshot: DependencySnapshot,
+        object_json: str,
+        *,
+        stats: dict | None = None,
+        wall_time: float = 0.0,
+        worker: str = "main",
+    ) -> None:
         """Store a fresh compilation result for one unit."""
         assert snapshot.source_digest is not None
         self.units[snapshot.path] = UnitRecord(
@@ -75,6 +95,9 @@ class BuildDatabase:
             source_digest=snapshot.source_digest,
             dep_digests=dict(snapshot.dep_digests),
             object_json=object_json,
+            stats=dict(stats) if stats else {},
+            wall_time=wall_time,
+            worker=worker,
         )
 
     def prune(self, keep: list[str]) -> list[str]:
@@ -95,6 +118,9 @@ class BuildDatabase:
                     "source": r.source_digest,
                     "deps": [[p, d] for p, d in sorted(r.dep_digests.items())],
                     "object": r.object_json,
+                    "stats": r.stats,
+                    "wall": r.wall_time,
+                    "worker": r.worker,
                 }
                 for r in sorted(self.units.values(), key=lambda r: r.path)
             ],
@@ -108,9 +134,9 @@ class BuildDatabase:
     @classmethod
     def from_json(cls, text: str) -> "BuildDatabase":
         payload = json.loads(text)
-        if payload.get("schema") != DB_SCHEMA_VERSION:
+        if payload.get("schema") not in _READABLE_SCHEMAS:
             raise ValueError(
-                f"build DB schema {payload.get('schema')} != {DB_SCHEMA_VERSION}"
+                f"build DB schema {payload.get('schema')} not in {_READABLE_SCHEMAS}"
             )
         db = cls()
         for entry in payload["units"]:
@@ -119,6 +145,9 @@ class BuildDatabase:
                 source_digest=entry["source"],
                 dep_digests={p: d for p, d in entry["deps"]},
                 object_json=entry["object"],
+                stats=entry.get("stats") or {},
+                wall_time=float(entry.get("wall", 0.0)),
+                worker=entry.get("worker", "main"),
             )
         state_json = payload.get("state")
         if state_json is not None:

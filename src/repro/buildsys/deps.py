@@ -25,6 +25,7 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.frontend.includes import FileProvider, scan_includes
+from repro.obs.metrics import MetricsRegistry
 
 
 def content_digest(text: str) -> str:
@@ -63,8 +64,11 @@ class DependencyScanner:
     and scanned once, not once per unit.
     """
 
-    def __init__(self, provider: FileProvider):
+    def __init__(
+        self, provider: FileProvider, *, metrics: MetricsRegistry | None = None
+    ):
         self.provider = provider
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._text: dict[str, str | None] = {}
         self._direct: dict[str, list[str]] = {}
 
@@ -76,11 +80,19 @@ class DependencyScanner:
             self._text[path] = (
                 self.provider.read(path) if self.provider.exists(path) else None
             )
+            self.metrics.inc("deps.files_read")
+            if self._text[path] is None:
+                self.metrics.inc("deps.files_missing")
+        else:
+            self.metrics.inc("deps.cache_hits")
         return self._text[path]
 
     def digest(self, path: str) -> str | None:
         text = self.read(path)
-        return None if text is None else content_digest(text)
+        if text is None:
+            return None
+        self.metrics.inc("deps.digests")
+        return content_digest(text)
 
     # -- include graph ------------------------------------------------------
 
@@ -114,4 +126,5 @@ class DependencyScanner:
     def snapshot(self, unit_path: str) -> DependencySnapshot:
         """The unit's current dependency fingerprint."""
         deps = {p: self.digest(p) for p in self.include_closure(unit_path)}
+        self.metrics.inc("deps.snapshots")
         return DependencySnapshot(unit_path, self.digest(unit_path), deps)

@@ -1,0 +1,195 @@
+"""Why was this unit rebuilt?  The build system's explainability layer.
+
+Incremental systems live or die by being able to *explain* their
+decisions: a surprising rebuild (or a surprising skip) is undebuggable
+from a one-line status.  :func:`rebuild_reason` classifies one unit's
+scheduling decision by diffing its recorded dependency fingerprint
+against the current one — the same comparison
+:meth:`~repro.buildsys.builddb.BuildDatabase.up_to_date` makes, kept in
+one place so the explanation can never disagree with the decision.
+
+:func:`explain_unit` renders the full ``reprobuild explain <unit>``
+payload: the reason plus the unit's most expensive passes from the
+per-unit statistics the build database records at compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buildsys.builddb import BuildDatabase, UnitRecord
+from repro.buildsys.deps import DependencySnapshot
+
+#: ``RebuildReason.kind`` values, in decision precedence order.
+REASON_KINDS = (
+    "missing-record",
+    "source-missing",
+    "source-changed",
+    "deps-changed",
+    "up-to-date",
+)
+
+
+@dataclass
+class RebuildReason:
+    """One unit's scheduling verdict and the evidence behind it."""
+
+    path: str
+    #: One of :data:`REASON_KINDS`.
+    kind: str
+    #: Did the unit's own text change (digest mismatch)?
+    source_changed: bool = False
+    #: Headers present before and now whose digest differs.
+    changed_deps: list[str] = field(default_factory=list)
+    #: Headers in the closure now but not in the recorded closure.
+    added_deps: list[str] = field(default_factory=list)
+    #: Headers in the recorded closure but no longer included.
+    removed_deps: list[str] = field(default_factory=list)
+    #: Headers recorded as *missing* at build time that now exist.
+    appeared_deps: list[str] = field(default_factory=list)
+    #: Headers that existed at build time but are missing now.
+    vanished_deps: list[str] = field(default_factory=list)
+
+    @property
+    def is_up_to_date(self) -> bool:
+        return self.kind == "up-to-date"
+
+    @property
+    def deps_changed(self) -> bool:
+        return bool(
+            self.changed_deps
+            or self.added_deps
+            or self.removed_deps
+            or self.appeared_deps
+            or self.vanished_deps
+        )
+
+    def describe(self) -> str:
+        """One human-readable line: the verdict and its evidence."""
+        if self.kind == "up-to-date":
+            return f"{self.path}: up to date (source and include closure unchanged)"
+        if self.kind == "missing-record":
+            return f"{self.path}: rebuild — no build record (never built or cache lost)"
+        if self.kind == "source-missing":
+            return f"{self.path}: rebuild — source file is missing"
+        parts = []
+        if self.source_changed:
+            parts.append("source text changed")
+        detail = [
+            (self.changed_deps, "edited"),
+            (self.added_deps, "added to closure"),
+            (self.removed_deps, "left closure"),
+            (self.appeared_deps, "previously missing, now present"),
+            (self.vanished_deps, "now missing"),
+        ]
+        header_bits = [
+            f"{', '.join(paths)} ({label})" for paths, label in detail if paths
+        ]
+        if header_bits:
+            parts.append(f"header closure changed: {'; '.join(header_bits)}")
+        return f"{self.path}: rebuild — {'; '.join(parts)}"
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "source_changed": self.source_changed,
+            "changed_deps": list(self.changed_deps),
+            "added_deps": list(self.added_deps),
+            "removed_deps": list(self.removed_deps),
+            "appeared_deps": list(self.appeared_deps),
+            "vanished_deps": list(self.vanished_deps),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RebuildReason":
+        return cls(
+            path=payload["path"],
+            kind=payload["kind"],
+            source_changed=bool(payload.get("source_changed", False)),
+            changed_deps=list(payload.get("changed_deps", [])),
+            added_deps=list(payload.get("added_deps", [])),
+            removed_deps=list(payload.get("removed_deps", [])),
+            appeared_deps=list(payload.get("appeared_deps", [])),
+            vanished_deps=list(payload.get("vanished_deps", [])),
+        )
+
+
+def rebuild_reason(
+    record: UnitRecord | None, snapshot: DependencySnapshot
+) -> RebuildReason:
+    """Classify one unit's up-to-date check.
+
+    ``reason.is_up_to_date`` is *exactly*
+    ``BuildDatabase.up_to_date(snapshot)`` for the record the snapshot
+    was checked against — the builder schedules from this verdict, so
+    explanation and decision cannot drift.
+    """
+    if record is None:
+        return RebuildReason(path=snapshot.path, kind="missing-record")
+    if snapshot.source_digest is None:
+        return RebuildReason(path=snapshot.path, kind="source-missing")
+
+    reason = RebuildReason(path=snapshot.path, kind="up-to-date")
+    reason.source_changed = record.source_digest != snapshot.source_digest
+    recorded, current = record.dep_digests, snapshot.dep_digests
+    for path in sorted(set(recorded) | set(current)):
+        if path not in recorded:
+            reason.added_deps.append(path)
+        elif path not in current:
+            reason.removed_deps.append(path)
+        elif recorded[path] != current[path]:
+            if recorded[path] is None:
+                reason.appeared_deps.append(path)
+            elif current[path] is None:
+                reason.vanished_deps.append(path)
+            else:
+                reason.changed_deps.append(path)
+
+    if reason.source_changed:
+        reason.kind = "source-changed"
+    elif reason.deps_changed:
+        reason.kind = "deps-changed"
+    return reason
+
+
+def top_passes(stats: dict, n: int = 5) -> list[tuple[str, dict]]:
+    """The ``n`` most expensive passes from a recorded stats payload.
+
+    ``stats`` is a :meth:`BypassStatistics.to_dict` payload (what
+    :class:`UnitRecord.stats` stores); ordered by executed work, ties
+    by name for stable output.
+    """
+    by_pass = stats.get("by_pass", {})
+    ranked = sorted(by_pass.items(), key=lambda kv: (-kv[1].get("work", 0), kv[0]))
+    return ranked[:n]
+
+
+def explain_unit(
+    db: BuildDatabase, snapshot: DependencySnapshot, *, top: int = 5
+) -> str:
+    """The full ``reprobuild explain <unit>`` text for one unit."""
+    record = db.units.get(snapshot.path)
+    reason = rebuild_reason(record, snapshot)
+    lines = [reason.describe()]
+    if record is None:
+        return "\n".join(lines)
+
+    if record.wall_time > 0.0:
+        lines.append(
+            f"  last compiled in {record.wall_time * 1000:.1f} ms"
+            f" by {record.worker}"
+        )
+    ranked = top_passes(record.stats, top)
+    if ranked:
+        lines.append(f"  top {len(ranked)} passes of the last compile (by work):")
+        for name, counters in ranked:
+            lines.append(
+                f"    {name}: work={counters.get('work', 0)}"
+                f" executed={counters.get('executed', 0)}"
+                f" dormant={counters.get('dormant', 0)}"
+                f" bypassed={counters.get('bypassed', 0)}"
+            )
+    return "\n".join(lines)

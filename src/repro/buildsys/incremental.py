@@ -7,7 +7,9 @@ variants plug into.  Per build it:
    (:mod:`repro.buildsys.deps`);
 2. schedules recompilation for exactly the units whose own digest or
    any transitively included header's digest changed since the build
-   database last saw them;
+   database last saw them — recording a
+   :class:`~repro.buildsys.explain.RebuildReason` per unit so the
+   decision is explainable afterwards (``reprobuild explain``);
 3. compiles dirty units through :class:`repro.driver.Compiler` —
    stateless or stateful per :class:`~repro.driver.CompilerOptions`,
    serially or on a worker pool per :class:`~repro.buildsys.parallel.BuildOptions`
@@ -23,6 +25,15 @@ for both variants: the paper's mechanism is measured as the *additional*
 win inside the units a competent build system already decided to
 recompile.
 
+Observability: the builder accepts a :class:`~repro.obs.trace.Tracer`
+and a :class:`~repro.obs.metrics.MetricsRegistry`.  Spans cover the
+whole hierarchy (build → phase → unit → pass pipeline → pass); on the
+worker-pool path each worker's spans travel back in its picklable
+outcome and are re-based onto the driver timeline with worker
+attribution.  Every layer (scanner, pass managers, compiler state)
+reports into the one registry, whose snapshot lands in
+:attr:`BuildReport.metrics`.
+
 Failure handling is transactional per unit: when a dirty unit fails to
 compile, every unit that already compiled successfully is still
 recorded in the database (and, stateful, its records merged into the
@@ -32,18 +43,24 @@ recompiles only the broken unit.
 
 from __future__ import annotations
 
+import logging
 import time
 
 from repro.backend.linker import LinkedImage, link
 from repro.backend.objfile import ObjectFile
 from repro.buildsys.builddb import BuildDatabase
 from repro.buildsys.deps import DependencyScanner, DependencySnapshot
+from repro.buildsys.explain import rebuild_reason
 from repro.buildsys.parallel import BuildOptions, UnitOutcome, compile_units
 from repro.buildsys.report import BuildReport, UnitBuildResult
-from repro.core.statistics import BypassStatistics, summarize_log
+from repro.core.statistics import BypassStatistics
 from repro.driver import Compiler, CompilerOptions
 from repro.frontend.diagnostics import CompileError
 from repro.frontend.includes import FileProvider, IncludeError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer
+
+logger = logging.getLogger(__name__)
 
 
 class IncrementalBuilder:
@@ -62,6 +79,9 @@ class IncrementalBuilder:
         options: CompilerOptions | None = None,
         db: BuildDatabase | None = None,
         build_options: BuildOptions | None = None,
+        *,
+        tracer: NullTracer = NULL_TRACER,
+        metrics: MetricsRegistry | None = None,
     ):
         self.provider = provider
         self.unit_paths = list(unit_paths)
@@ -70,6 +90,8 @@ class IncrementalBuilder:
         self.build_options = (
             build_options if build_options is not None else BuildOptions.from_env()
         )
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- state plumbing -----------------------------------------------------
 
@@ -89,6 +111,7 @@ class IncrementalBuilder:
             compiler.state = state
         else:
             self.db.live_state = compiler.state
+        compiler.state.attach_metrics(self.metrics)
         compiler.state.begin_build()
 
     # -- the build ----------------------------------------------------------
@@ -103,26 +126,42 @@ class IncrementalBuilder:
         after the fix is still incremental.
         """
         build_start = time.perf_counter()
+        report = BuildReport()
 
-        scanner = DependencyScanner(self.provider)
+        scan_start = time.perf_counter()
+        scanner = DependencyScanner(self.provider, metrics=self.metrics)
         snapshots = {path: scanner.snapshot(path) for path in self.unit_paths}
+        report.scan_time = time.perf_counter() - scan_start
+        self.tracer.add("scan", "phase", scan_start, report.scan_time)
+        self.metrics.observe("build.scan_time", report.scan_time)
 
-        compiler = Compiler(self.provider, self.options)
+        compiler = Compiler(self.provider, self.options, tracer=self.tracer)
         if self.options.stateful:
             self._attach_state(compiler)
 
-        report = BuildReport()
         dirty: list[str] = []
         for path in self.unit_paths:
-            if self.db.up_to_date(snapshots[path]):
+            reason = rebuild_reason(self.db.units.get(path), snapshots[path])
+            report.reasons[path] = reason
+            if reason.is_up_to_date:
                 report.up_to_date.append(path)
             else:
                 dirty.append(path)
+        logger.info(
+            "build: %d units, %d dirty, %d up-to-date",
+            len(self.unit_paths),
+            len(dirty),
+            len(report.up_to_date),
+        )
 
         jobs = 1
         if self.build_options.executor != "serial":
             jobs = min(self.build_options.resolved_jobs(), max(1, len(dirty)))
         report.jobs = jobs
+        self.metrics.set_gauge("build.units", len(self.unit_paths))
+        self.metrics.set_gauge("build.dirty", len(dirty))
+        self.metrics.set_gauge("build.up_to_date", len(report.up_to_date))
+        self.metrics.set_gauge("build.jobs", jobs)
 
         objects: dict[str, ObjectFile] = {}
         phase_start = time.perf_counter()
@@ -133,14 +172,24 @@ class IncrementalBuilder:
                 compiler, snapshots, dirty, report, objects, jobs
             )
         report.compile_phase_time = time.perf_counter() - phase_start
+        if dirty:
+            self.tracer.add("compile", "phase", phase_start, report.compile_phase_time)
+        self.metrics.observe("build.compile_phase_time", report.compile_phase_time)
 
         if self.options.stateful and compiler.state is not None:
             if error is None:
+                gc_start = time.perf_counter()
                 compiler.state.collect_garbage()
+                if self.tracer.enabled:
+                    self.tracer.add(
+                        "state-gc", "phase", gc_start, time.perf_counter() - gc_start
+                    )
             self.db.live_state = compiler.state
             report.state_records = compiler.state.num_records
+            self.metrics.set_gauge("state.records", compiler.state.num_records)
 
         if error is not None:
+            report.metrics = self.metrics.to_dict()
             raise error
 
         self.db.prune(self.unit_paths)
@@ -149,8 +198,21 @@ class IncrementalBuilder:
             start = time.perf_counter()
             report.image = self._link(objects)
             report.link_time = time.perf_counter() - start
+            self.tracer.add("link", "phase", start, report.link_time)
+            self.metrics.observe("build.link_time", report.link_time)
 
         report.total_wall_time = time.perf_counter() - build_start
+        self.tracer.add(
+            "build",
+            "build",
+            build_start,
+            report.total_wall_time,
+            units=len(self.unit_paths),
+            recompiled=report.num_recompiled,
+            jobs=jobs,
+        )
+        self.metrics.observe("build.total_wall_time", report.total_wall_time)
+        report.metrics = self.metrics.to_dict()
         return report
 
     # -- compile strategies -------------------------------------------------
@@ -176,7 +238,8 @@ class IncrementalBuilder:
                 return exc
             wall = time.perf_counter() - start
 
-            stats = summarize_log(result.events)
+            stats = BypassStatistics.from_metrics(result.metrics)
+            self.metrics.merge(result.metrics)
             report.bypass.merge(stats)
             report.compiled.append(
                 UnitBuildResult(
@@ -193,7 +256,12 @@ class IncrementalBuilder:
                 )
             )
             objects[path] = result.object_file
-            self.db.record_unit(snapshots[path], result.object_file.to_json())
+            self.db.record_unit(
+                snapshots[path],
+                result.object_file.to_json(),
+                stats=stats.to_dict(),
+                wall_time=wall,
+            )
         return None
 
     def _compile_parallel(
@@ -224,6 +292,7 @@ class IncrementalBuilder:
             dirty,
             jobs=jobs,
             executor=self.build_options.executor,
+            trace=self.tracer.enabled,
         )
 
         error: Exception | None = None
@@ -256,6 +325,14 @@ class IncrementalBuilder:
     ) -> None:
         """Fold one successful worker outcome into the build products."""
         report.bypass.merge(outcome.stats)
+        if outcome.metrics is not None:
+            self.metrics.merge(outcome.metrics)
+        if outcome.spans:
+            # Re-base the worker's spans onto the driver timeline; the
+            # worker name attributes them to their own track.
+            self.tracer.absorb(
+                outcome.spans, outcome.epoch_wall, track=outcome.worker
+            )
         report.compiled.append(
             UnitBuildResult(
                 path=outcome.path,
@@ -268,7 +345,13 @@ class IncrementalBuilder:
             )
         )
         objects[outcome.path] = ObjectFile.from_json(outcome.object_json)
-        self.db.record_unit(snapshot, outcome.object_json)
+        self.db.record_unit(
+            snapshot,
+            outcome.object_json,
+            stats=outcome.stats.to_dict(),
+            wall_time=outcome.wall_time,
+            worker=outcome.worker,
+        )
         if outcome.delta is not None and compiler.state is not None:
             compiler.state.merge_delta(outcome.delta)
 

@@ -45,10 +45,12 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 
 from repro.core.state import CompilerState, StateDelta
-from repro.core.statistics import BypassStatistics, summarize_log
+from repro.core.statistics import BypassStatistics
 from repro.driver import Compiler, CompilerOptions
 from repro.frontend.diagnostics import CompileError, Diagnostic
 from repro.frontend.includes import FileProvider, IncludeError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
 
 #: Environment override for the default job count, honored when a
 #: caller does not pass explicit :class:`BuildOptions` (the CI matrix
@@ -120,6 +122,12 @@ class UnitOutcome:
     delta: StateDelta | None = None
     #: Which worker compiled it: "main", "pid-<n>", or a thread name.
     worker: str = "main"
+    #: The unit's metrics registry, merged into the build's by the driver.
+    metrics: MetricsRegistry | None = None
+    #: Trace spans from the worker's tracer (empty unless tracing), with
+    #: the wall-clock epoch the driver needs to re-base them.
+    spans: list[SpanRecord] = field(default_factory=list)
+    epoch_wall: float = 0.0
     #: "compile" | "include" | None; diagnostics ride along for re-raise.
     error_kind: str | None = None
     error_message: str = ""
@@ -149,11 +157,15 @@ _WORKER_CONTEXT: dict = {}
 
 
 def _init_worker(
-    provider: FileProvider, options: CompilerOptions, state: CompilerState | None
+    provider: FileProvider,
+    options: CompilerOptions,
+    state: CompilerState | None,
+    trace: bool = False,
 ) -> None:
     _WORKER_CONTEXT["provider"] = provider
     _WORKER_CONTEXT["options"] = options
     _WORKER_CONTEXT["state"] = state
+    _WORKER_CONTEXT["trace"] = trace
 
 
 def _worker_name() -> str:
@@ -170,6 +182,7 @@ def compile_unit(
     path: str,
     *,
     worker: str = "main",
+    trace: bool = False,
 ) -> UnitOutcome:
     """Compile one unit against a private state copy; never raises.
 
@@ -177,13 +190,18 @@ def compile_unit(
     builds); the copy taken here is what makes the outcome independent
     of scheduling — the unit sees exactly the records that existed when
     the build started, as the snapshot/delta protocol promises.
+
+    With ``trace=True`` the unit compiles under its own
+    :class:`~repro.obs.trace.Tracer`; the spans (and the wall-clock
+    epoch needed to re-base them) ship back inside the outcome.
     """
     outcome = UnitOutcome(path=path, worker=worker)
     worker_state = None
     if state is not None:
         worker_state = state.snapshot()
         worker_state.begin_delta_tracking()
-    compiler = Compiler(provider, options, state=worker_state)
+    tracer = Tracer(track=worker) if trace else NULL_TRACER
+    compiler = Compiler(provider, options, state=worker_state, tracer=tracer)
 
     start = time.perf_counter()
     try:
@@ -200,13 +218,17 @@ def compile_unit(
     outcome.wall_time = time.perf_counter() - start
 
     outcome.object_json = result.object_file.to_json()
-    outcome.stats = summarize_log(result.events)
+    outcome.stats = BypassStatistics.from_metrics(result.metrics)
+    outcome.metrics = result.metrics
     outcome.pass_work = result.pass_work
     if result.overhead is not None:
         outcome.fingerprint_time = result.overhead.fingerprint_time
         outcome.fingerprint_count = result.overhead.fingerprint_count
     if worker_state is not None:
         outcome.delta = worker_state.extract_delta()
+    if trace:
+        outcome.spans = tracer.spans
+        outcome.epoch_wall = tracer.epoch_wall
     return outcome
 
 
@@ -218,6 +240,7 @@ def _compile_unit_task(path: str) -> UnitOutcome:
         _WORKER_CONTEXT["state"],
         path,
         worker=_worker_name(),
+        trace=_WORKER_CONTEXT.get("trace", False),
     )
 
 
@@ -264,6 +287,7 @@ def compile_units(
     *,
     jobs: int,
     executor: str = "process",
+    trace: bool = False,
 ) -> dict[str, UnitOutcome]:
     """Compile ``paths`` concurrently; returns outcomes keyed by path.
 
@@ -273,7 +297,7 @@ def compile_units(
     thread pool — compilation is deterministic and nothing has been
     merged yet, so a full retry is safe.
     """
-    initargs = (provider, options, state)
+    initargs = (provider, options, state, trace)
     if executor == "process":
         try:
             return _run_pool("process", jobs, initargs, paths)

@@ -9,13 +9,20 @@
 ``reprobuild`` drives incremental builds of a project directory::
 
     reprobuild src/ --db build.reprodb --stateful --run
+    reprobuild src/ -j 4 --trace-out trace.json --report-json report.json
+    reprobuild explain src/ main.mc --db build.reprodb
+
+Observability flags shared by the tools: ``-v``/``-vv`` (or
+``REPRO_LOG=info|debug``) turns on structured logging,
+``--trace-out FILE`` writes a Chrome ``trace_event`` JSON timeline
+(load it in ``chrome://tracing`` or Perfetto), and ``reprobuild``'s
+``--report-json FILE`` writes the machine-readable build report.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro.backend.linker import link
@@ -24,10 +31,12 @@ from repro.buildsys.incremental import IncrementalBuilder
 from repro.buildsys.parallel import BuildOptions
 from repro.core.policies import SkipPolicy
 from repro.core.state import CompilerState
-from repro.core.statistics import summarize_log
+from repro.core.statistics import BypassStatistics
 from repro.driver import Compiler, CompilerOptions
 from repro.frontend.diagnostics import CompileError
 from repro.frontend.includes import DiskFileProvider
+from repro.obs.logging import setup_logging
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.ir.printer import print_module
 from repro.vm.machine import VirtualMachine
 from repro.workload.project import Project
@@ -50,6 +59,23 @@ def _common_compiler_flags(parser: argparse.ArgumentParser) -> None:
         "--fingerprint-mode", choices=["canonical", "named"], default="canonical",
         help="IR fingerprint definition (default canonical)",
     )
+    _observability_flags(parser)
+
+
+def _observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-v = info, -vv = debug; REPRO_LOG too)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a Chrome trace_event JSON timeline of the run",
+    )
+
+
+def _make_tracer(args: argparse.Namespace) -> NullTracer:
+    """A real tracer only when ``--trace-out`` asked for one."""
+    return Tracer() if getattr(args, "trace_out", None) else NULL_TRACER
 
 
 def _options_from_args(args: argparse.Namespace) -> CompilerOptions:
@@ -78,6 +104,7 @@ def reproc_main(argv: list[str] | None = None) -> int:
         help="after compiling, print a summary of the compiler state",
     )
     args = parser.parse_args(argv)
+    setup_logging(args.verbose)
 
     source_path = Path(args.source)
     if not source_path.is_file():
@@ -85,7 +112,8 @@ def reproc_main(argv: list[str] | None = None) -> int:
         return 2
     provider = DiskFileProvider(source_path.parent)
     options = _options_from_args(args)
-    compiler = Compiler(provider, options)
+    tracer = _make_tracer(args)
+    compiler = Compiler(provider, options, tracer=tracer)
 
     if options.stateful and args.state_file:
         compiler.state = CompilerState.load(
@@ -101,6 +129,8 @@ def reproc_main(argv: list[str] | None = None) -> int:
         for diag in exc.diagnostics:
             print(diag.render(), file=sys.stderr)
         return 1
+    if args.trace_out:
+        tracer.write(args.trace_out)
 
     if options.stateful and args.state_file and compiler.state is not None:
         compiler.state.collect_garbage()
@@ -124,7 +154,7 @@ def reproc_main(argv: list[str] | None = None) -> int:
     output.write_text(result.object_file.to_json())
 
     if args.stats:
-        stats = summarize_log(result.events)
+        stats = BypassStatistics.from_metrics(result.metrics)
         print(
             f"passes: executed={stats.executions} dormant={stats.dormant_executions} "
             f"bypassed={stats.bypassed} work={stats.work_executed}",
@@ -236,10 +266,22 @@ def reprobench_parallel_main(argv: list[str] | None = None) -> int:
 
 
 def reprobuild_main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "explain":
+        return reprobuild_explain_main(argv[1:])
+
     parser = argparse.ArgumentParser(prog="reprobuild", description="incremental builder")
     parser.add_argument("directory", help="project directory containing .mc/.mh files")
     _common_compiler_flags(parser)
     parser.add_argument("--db", default="build.reprodb", help="build database path")
+    parser.add_argument(
+        "--report-json", metavar="FILE",
+        help="write the machine-readable build report as JSON",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print why each unit was rebuilt or skipped",
+    )
     parser.add_argument(
         "-j", "--jobs", type=int, default=None,
         help="concurrent compile jobs (default: CPU count; -j 1 = classic serial)",
@@ -251,6 +293,7 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--run", action="store_true", help="execute the linked image")
     parser.add_argument("--entry", default="main", help="entry function (default main)")
     args = parser.parse_args(argv)
+    setup_logging(args.verbose)
 
     root = Path(args.directory)
     if not root.is_dir():
@@ -264,11 +307,12 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
     db = BuildDatabase.load(args.db)
     options = _options_from_args(args)
     build_options = BuildOptions(jobs=args.jobs, executor=args.executor)
+    tracer = _make_tracer(args)
     builder = IncrementalBuilder(
-        project.provider(), project.unit_paths, options, db, build_options
+        project.provider(), project.unit_paths, options, db, build_options,
+        tracer=tracer,
     )
 
-    start = time.perf_counter()
     try:
         report = builder.build()
     except CompileError as exc:
@@ -278,20 +322,17 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
         for diag in exc.diagnostics:
             print(diag.render(), file=sys.stderr)
         return 1
-    elapsed = time.perf_counter() - start
     db_bytes = db.save(args.db)
 
-    print(
-        f"build: {report.num_recompiled} recompiled, {len(report.up_to_date)} up-to-date, "
-        f"{elapsed:.3f}s total",
-        file=sys.stderr,
-    )
-    if report.jobs > 1:
-        print(
-            f"parallel: -j {report.jobs}, {report.num_workers} workers, "
-            f"{report.parallel_speedup:.2f}x compile-phase speedup",
-            file=sys.stderr,
-        )
+    if args.trace_out:
+        tracer.write(args.trace_out)
+    if args.report_json:
+        report.write_json(args.report_json)
+    if args.explain:
+        for path in sorted(report.reasons):
+            print(report.reasons[path].describe(), file=sys.stderr)
+
+    print(f"build: {report.describe()}", file=sys.stderr)
     if options.stateful:
         print(
             f"state: {report.state_records} records ({db_bytes} bytes with build DB); "
@@ -308,6 +349,68 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
             print(f"trap: {outcome.trap_message}", file=sys.stderr)
             return 70
         return outcome.exit_code & 0x7F
+    return 0
+
+
+def reprobuild_explain_main(argv: list[str] | None = None) -> int:
+    """``reprobuild explain``: why would these units rebuild right now?
+
+    Compares the current tree against the build database *without*
+    building: for each unit it prints the scheduling verdict (source
+    changed / header closure changed / up to date / never built) and,
+    when the database has one, the last compile's cost profile.
+    """
+    parser = argparse.ArgumentParser(
+        prog="reprobuild explain",
+        description="explain why units would (not) be rebuilt",
+    )
+    parser.add_argument("directory", help="project directory containing .mc/.mh files")
+    parser.add_argument(
+        "units", nargs="*",
+        help="unit paths to explain (default: every unit in the project)",
+    )
+    parser.add_argument("--db", default="build.reprodb", help="build database path")
+    parser.add_argument(
+        "--top", type=int, default=5,
+        help="how many passes of the last compile to show (default 5)",
+    )
+    _observability_flags(parser)
+    # parse_intermixed_args lets unit positionals follow options
+    # ("explain proj --db b.db main.mc"), which plain parse_args rejects.
+    args = parser.parse_intermixed_args(argv)
+    setup_logging(args.verbose)
+
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"reprobuild: no such directory: {args.directory}", file=sys.stderr)
+        return 2
+    project = Project.read_from(root)
+
+    def normalize(unit: str) -> str:
+        # Accept both DB-relative names ("main.mc") and paths that
+        # include the project directory ("proj/main.mc").
+        try:
+            return Path(unit).relative_to(root).as_posix()
+        except ValueError:
+            return unit
+
+    units = [normalize(u) for u in args.units] or project.unit_paths
+    unknown = [u for u in units if u not in project.unit_paths]
+    if unknown:
+        print(
+            f"reprobuild explain: not a unit in {args.directory}: "
+            f"{', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.buildsys.deps import DependencyScanner
+    from repro.buildsys.explain import explain_unit
+
+    db = BuildDatabase.load(args.db)
+    scanner = DependencyScanner(project.provider())
+    for path in units:
+        print(explain_unit(db, scanner.snapshot(path), top=args.top))
     return 0
 
 

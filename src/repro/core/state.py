@@ -37,8 +37,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
 
 STATE_SCHEMA_VERSION = 3
 
@@ -88,6 +91,17 @@ class CompilerState:
     _touched: set[tuple[int, str]] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: Observability sink (``None`` = don't report); never serialized,
+    #: never copied into snapshots.
+    _metrics: MetricsRegistry | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    # -- observability -------------------------------------------------------
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report record churn and snapshot/merge cost into ``metrics``."""
+        self._metrics = metrics
 
     # -- record access ------------------------------------------------------
 
@@ -98,11 +112,18 @@ class CompilerState:
             record.last_used_build = self.build_counter
             if self._touched is not None:
                 self._touched.add((position, fingerprint))
+            if self._metrics is not None:
+                self._metrics.inc("state.records_refreshed")
         return record
 
     def remember(
         self, position: int, fingerprint_in: str, dormant: bool, fingerprint_out: str
     ) -> None:
+        if self._metrics is not None:
+            key = "state.records_updated" if (
+                (position, fingerprint_in) in self.records
+            ) else "state.records_added"
+            self._metrics.inc(key)
         self.records[(position, fingerprint_in)] = DormancyRecord(
             dormant, fingerprint_out, self.build_counter
         )
@@ -119,6 +140,8 @@ class CompilerState:
         stale = [k for k, r in self.records.items() if r.last_used_build < cutoff]
         for key in stale:
             del self.records[key]
+        if self._metrics is not None:
+            self._metrics.inc("state.records_gced", len(stale))
         return len(stale)
 
     @property
@@ -132,15 +155,21 @@ class CompilerState:
 
         Records are copied individually because :meth:`lookup` mutates
         ``last_used_build`` in place — a worker must never write through
-        to the live state it was snapshotted from.
+        to the live state it was snapshotted from.  The copy carries no
+        metrics sink: a worker accounts through its own registry.
         """
-        return CompilerState(
+        start = time.perf_counter()
+        copy = CompilerState(
             pipeline_signature=self.pipeline_signature,
             fingerprint_mode=self.fingerprint_mode,
             build_counter=self.build_counter,
             gc_max_age=self.gc_max_age,
             records={key: replace(record) for key, record in self.records.items()},
         )
+        if self._metrics is not None:
+            self._metrics.observe("state.snapshot_time", time.perf_counter() - start)
+            self._metrics.inc("state.snapshots")
+        return copy
 
     def begin_delta_tracking(self) -> None:
         """Start recording which keys :meth:`lookup`/:meth:`remember` touch."""
@@ -175,6 +204,7 @@ class CompilerState:
         the GC timestamp, which is kept at the maximum so a record used
         by *any* worker stays as fresh as the freshest use.
         """
+        start = time.perf_counter()
         for key, incoming in delta.records.items():
             existing = self.records.get(key)
             merged = replace(incoming)
@@ -184,6 +214,9 @@ class CompilerState:
                 )
             self.records[key] = merged
         self.build_counter = max(self.build_counter, delta.build_counter)
+        if self._metrics is not None:
+            self._metrics.observe("state.merge_time", time.perf_counter() - start)
+            self._metrics.inc("state.records_merged", len(delta.records))
         return len(delta.records)
 
     # -- compatibility ---------------------------------------------------------

@@ -24,12 +24,14 @@ experiments can report the cost of statefulness separately.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.policies import SkipPolicy
 from repro.core.state import CompilerState
 from repro.ir.fingerprint import fingerprint_function
 from repro.ir.structure import Function, Module
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.passmanager.manager import PassManager
 from repro.passmanager.pipeline import PassPipeline
 
@@ -58,8 +60,12 @@ class StatefulPassManager(PassManager):
         *,
         policy: SkipPolicy = SkipPolicy.FINE_GRAINED,
         verify_each: bool = False,
+        tracer: NullTracer = NULL_TRACER,
+        metrics: MetricsRegistry | None = None,
     ):
-        super().__init__(pipeline, verify_each=verify_each)
+        super().__init__(
+            pipeline, verify_each=verify_each, tracer=tracer, metrics=metrics
+        )
         self.state = state
         self.policy = policy
         self.overhead = StatefulOverhead()
@@ -75,9 +81,12 @@ class StatefulPassManager(PassManager):
     def _compute_fingerprint(self, fn: Function) -> str:
         start = time.perf_counter()
         fp = fingerprint_function(fn, mode=self.state.fingerprint_mode)
-        self.overhead.fingerprint_time += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.overhead.fingerprint_time += elapsed
         self.overhead.fingerprint_count += 1
         self.overhead.fingerprint_work += fn.num_instructions
+        self.metrics.inc("fingerprint.count")
+        self.metrics.observe("fingerprint.time", elapsed)
         return fp
 
     def fingerprint_for_event(self, fn: Function) -> str:
@@ -93,6 +102,7 @@ class StatefulPassManager(PassManager):
         if self.policy is SkipPolicy.COARSE:
             record = self.state.lookup(_COARSE_POSITION, self._fp)
             self.overhead.lookups += 1
+            self.metrics.inc("state.lookups")
             self._coarse_skip_all = record is not None and record.dormant
 
     def should_skip(self, fn: Function, module: Module, position: int) -> bool:
@@ -102,6 +112,7 @@ class StatefulPassManager(PassManager):
         if self.policy is SkipPolicy.COARSE:
             return self._coarse_skip_all
         self.overhead.lookups += 1
+        self.metrics.inc("state.lookups")
         record = self.state.lookup(position, self._fp)
         self._pending_record = record
         return record is not None and record.dormant
@@ -122,6 +133,7 @@ class StatefulPassManager(PassManager):
             self._fp = self._compute_fingerprint(fn)
         self.state.remember(position, fingerprint_in, not changed, self._fp)
         self.overhead.records_written += 1
+        self.metrics.inc("state.records_written")
 
     def end_function(self, fn: Function, module: Module) -> None:
         if self.policy is SkipPolicy.COARSE and not self._coarse_skip_all:
@@ -132,3 +144,4 @@ class StatefulPassManager(PassManager):
                 self._fp,
             )
             self.overhead.records_written += 1
+            self.metrics.inc("state.records_written")

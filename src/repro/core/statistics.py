@@ -1,10 +1,26 @@
-"""Dormancy and bypass accounting over pass-event logs."""
+"""Dormancy and bypass accounting for compilations.
+
+:class:`BypassStatistics` is the paper's headline ledger: executed vs
+dormant vs bypassed function-pass runs, with a per-pass breakdown.
+Since the observability layer landed it is a *consumer* of the metrics
+registry the pass manager reports into — :meth:`from_metrics` — rather
+than a parallel accounting path; :func:`summarize_log` remains for
+re-deriving the same numbers from a raw event log.
+"""
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import MetricsRegistry
 from repro.passmanager.events import PassEventLog
+
+logger = logging.getLogger(__name__)
+
+#: Counter-name prefix for per-pass breakdowns in a metrics registry.
+PASS_METRIC_PREFIX = "pass."
+_BY_PASS_KEYS = ("executed", "dormant", "bypassed", "work")
 
 
 @dataclass
@@ -40,6 +56,60 @@ class BypassStatistics:
             for key, value in counters.items():
                 mine[key] += value
 
+    # -- (de)serialization for machine-readable build reports ----------------
+
+    def to_dict(self) -> dict:
+        return {
+            "executions": self.executions,
+            "dormant_executions": self.dormant_executions,
+            "bypassed": self.bypassed,
+            "work_executed": self.work_executed,
+            "by_pass": {
+                name: dict(counters) for name, counters in sorted(self.by_pass.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BypassStatistics":
+        stats = cls(
+            executions=int(payload.get("executions", 0)),
+            dormant_executions=int(payload.get("dormant_executions", 0)),
+            bypassed=int(payload.get("bypassed", 0)),
+            work_executed=int(payload.get("work_executed", 0)),
+        )
+        for name, counters in payload.get("by_pass", {}).items():
+            stats.by_pass[name] = {
+                key: int(counters.get(key, 0)) for key in _BY_PASS_KEYS
+            }
+        return stats
+
+    @classmethod
+    def from_metrics(cls, metrics: MetricsRegistry) -> "BypassStatistics":
+        """Derive the ledger from pass-manager counters.
+
+        The registry is the source of truth the pass manager writes
+        (``passes.*`` totals, ``pass.<name>.<counter>`` breakdowns);
+        this produces numbers identical to :func:`summarize_log` over
+        the same compilation's event log.
+        """
+        stats = cls(
+            executions=metrics.count("passes.executed"),
+            dormant_executions=metrics.count("passes.dormant"),
+            bypassed=metrics.count("passes.bypassed"),
+            work_executed=metrics.count("passes.work"),
+        )
+        for name, counter in metrics.counters.items():
+            if not name.startswith(PASS_METRIC_PREFIX):
+                continue
+            pass_name, _, key = name[len(PASS_METRIC_PREFIX):].rpartition(".")
+            if not pass_name or key not in _BY_PASS_KEYS:
+                continue
+            per = stats.by_pass.setdefault(
+                pass_name, {"executed": 0, "dormant": 0, "bypassed": 0, "work": 0}
+            )
+            per[key] += counter.value
+        return stats
+
 
 def summarize_log(log: PassEventLog) -> BypassStatistics:
     """Fold one event log into bypass statistics (function passes only)."""
@@ -61,4 +131,11 @@ def summarize_log(log: PassEventLog) -> BypassStatistics:
         if event.dormant:
             stats.dormant_executions += 1
             per["dormant"] += 1
+    logger.debug(
+        "summarized %d events: executed=%d dormant=%d bypassed=%d",
+        len(log.events),
+        stats.executions,
+        stats.dormant_executions,
+        stats.bypassed,
+    )
     return stats

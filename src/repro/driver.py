@@ -20,6 +20,8 @@ from repro.frontend.sema import analyze
 from repro.ir.structure import Module
 from repro.ir.verifier import verify_module
 from repro.lowering import lower_program
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.passmanager.events import PassEventLog
 from repro.passmanager.manager import PassManager
 from repro.passmanager.pipeline import PassPipeline, build_pipeline
@@ -63,6 +65,8 @@ class CompileResult:
     timings: CompileTimings
     headers: list[str] = field(default_factory=list)
     overhead: StatefulOverhead | None = None
+    #: The pass manager's accounting for this unit (always present).
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def pass_work(self) -> int:
@@ -82,9 +86,12 @@ class Compiler:
         provider: FileProvider,
         options: CompilerOptions | None = None,
         state: CompilerState | None = None,
+        *,
+        tracer: NullTracer = NULL_TRACER,
     ):
         self.provider = provider
         self.options = options or CompilerOptions()
+        self.tracer = tracer
         self.resolver = IncludeResolver(provider)
         self.pipeline: PassPipeline = build_pipeline(self.options.opt_level)
         if self.options.stateful:
@@ -107,29 +114,35 @@ class Compiler:
                 self.state,
                 policy=self.options.policy,
                 verify_each=self.options.verify_each,
+                tracer=self.tracer,
             )
         return PassManager(
             build_pipeline(self.options.opt_level),
             verify_each=self.options.verify_each,
+            tracer=self.tracer,
         )
 
     def compile_source(self, name: str, text: str) -> CompileResult:
         """Compile one translation unit's text to an object file."""
         timings = CompileTimings()
+        unit_start = time.perf_counter()
 
         start = time.perf_counter()
         unit = self.resolver.resolve(name, text)
         sema = analyze(unit.merged)
         timings.frontend = time.perf_counter() - start
+        self.tracer.add("frontend", "phase", start, timings.frontend, unit=name)
 
         start = time.perf_counter()
         module = lower_program(unit.merged, sema, name)
         timings.lowering = time.perf_counter() - start
+        self.tracer.add("lowering", "phase", start, timings.lowering, unit=name)
 
         manager = self._make_pass_manager()
         start = time.perf_counter()
         events = manager.run(module)
         timings.passes = time.perf_counter() - start
+        self.tracer.add("passes", "phase", start, timings.passes, unit=name)
 
         if self.options.verify_output:
             verify_module(module)
@@ -137,6 +150,16 @@ class Compiler:
         start = time.perf_counter()
         object_file = compile_module_to_object(module)
         timings.backend = time.perf_counter() - start
+        self.tracer.add("backend", "phase", start, timings.backend, unit=name)
+        self.tracer.add(
+            name, "unit", unit_start, time.perf_counter() - unit_start
+        )
+
+        metrics = manager.metrics
+        metrics.observe("compile.frontend_time", timings.frontend)
+        metrics.observe("compile.lowering_time", timings.lowering)
+        metrics.observe("compile.passes_time", timings.passes)
+        metrics.observe("compile.backend_time", timings.backend)
 
         overhead = manager.overhead if isinstance(manager, StatefulPassManager) else None
         return CompileResult(
@@ -146,6 +169,7 @@ class Compiler:
             timings=timings,
             headers=list(unit.headers),
             overhead=overhead,
+            metrics=metrics,
         )
 
     def compile_file(self, path: str) -> CompileResult:

@@ -1,0 +1,42 @@
+"""``repro.obs`` — observability for the compiler and build system.
+
+Three pillars, each usable on its own:
+
+- :mod:`repro.obs.trace` — hierarchical build spans with a Chrome
+  ``trace_event`` exporter (``reprobuild --trace-out``);
+- :mod:`repro.obs.metrics` — the build-wide registry of counters,
+  gauges, and timing summaries every layer reports into;
+- :mod:`repro.obs.logging` — ``repro.*`` logger-namespace setup
+  (``REPRO_LOG`` / ``--verbose``).
+
+The package sits *below* the build system in the layering: nothing
+here imports compiler or buildsys modules, so any layer can depend on
+it without cycles.
+"""
+
+from repro.obs.logging import LOG_ENV_VAR, get_logger, setup_logging
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timing
+from repro.obs.trace import (
+    DRIVER_TRACK,
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    chrome_trace_events,
+)
+
+__all__ = [
+    "Counter",
+    "DRIVER_TRACK",
+    "Gauge",
+    "LOG_ENV_VAR",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Timing",
+    "Tracer",
+    "chrome_trace_events",
+    "get_logger",
+    "setup_logging",
+]

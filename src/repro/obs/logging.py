@@ -1,0 +1,88 @@
+"""Logging setup for the ``repro.*`` logger namespace.
+
+The library itself only ever *emits* through module loggers
+(``logging.getLogger(__name__)``, which lands under ``repro.`` for
+every module in this package) and never configures handlers — that is
+an application decision.  The CLIs call :func:`setup_logging` once,
+honoring both the ``REPRO_LOG`` environment variable and the
+``--verbose/-v`` flag; whichever asks for more verbosity wins.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+#: Environment override: ``REPRO_LOG=debug reprobuild …``.
+LOG_ENV_VAR = "REPRO_LOG"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Marker attribute identifying the handler this module installed.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    Accepts either a full module path (``repro.buildsys.incremental``,
+    the ``__name__`` idiom) or a bare suffix (``buildsys``).
+    """
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def resolve_level(verbosity: int = 0, env: str | None = None) -> int:
+    """Effective level from a ``-v`` count and the environment.
+
+    ``-v`` → INFO, ``-vv`` → DEBUG, default WARNING; a valid
+    ``REPRO_LOG`` name can only lower (verbose-ify) the threshold, so
+    ``REPRO_LOG=debug`` works with no flags and ``-vv`` works with no
+    environment.
+    """
+    flag_level = (
+        logging.WARNING
+        if verbosity <= 0
+        else logging.INFO
+        if verbosity == 1
+        else logging.DEBUG
+    )
+    if env is None:
+        env = os.environ.get(LOG_ENV_VAR, "")
+    env_level = _LEVELS.get(env.strip().lower(), logging.WARNING)
+    return min(flag_level, env_level)
+
+
+def setup_logging(
+    verbosity: int = 0, *, env: str | None = None, stream=None
+) -> int:
+    """Configure the ``repro`` root logger once; returns the level set.
+
+    Idempotent: repeated calls adjust the level of the handler already
+    installed instead of stacking duplicates, so tests and long-lived
+    embedders can call it freely.
+    """
+    level = resolve_level(verbosity, env)
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    for handler in root.handlers:
+        if getattr(handler, _HANDLER_FLAG, False):
+            handler.setLevel(level)
+            if stream is not None:
+                handler.setStream(stream)
+            return level
+    handler = logging.StreamHandler(stream)
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.propagate = False
+    return level

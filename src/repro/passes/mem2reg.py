@@ -12,15 +12,17 @@ itself, passed to a call, or offset by ``gep``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import logging
 
 from repro.analysis.dominators import DominatorTree
-from repro.ir.instructions import AllocaInst, Instruction, LoadInst, PhiInst, StoreInst
+from repro.ir.instructions import AllocaInst, LoadInst, PhiInst, StoreInst
 from repro.ir.structure import BasicBlock, Function, Module
 from repro.ir.types import I64, IRType
 from repro.ir.values import UndefValue, Value
 from repro.passes.base import FunctionPass, PassStats
 from repro.passes.utils import remove_unreachable_blocks
+
+logger = logging.getLogger(__name__)
 
 
 def _promotable(alloca: AllocaInst) -> bool:
@@ -82,6 +84,12 @@ class Mem2RegPass(FunctionPass):
             alloca.erase()
         stats.changed = True
         self._prune_dead_phis(phi_slot, stats)
+        logger.debug(
+            "mem2reg on %s: promoted %d allocas, placed %d phis",
+            fn.name,
+            len(allocas),
+            len(phi_slot),
+        )
         return stats
 
     # -- phase 1: phi placement at iterated dominance frontiers ----------

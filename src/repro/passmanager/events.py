@@ -8,7 +8,10 @@ visited); ``wall_time`` is measured but noisy at micro scale.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -39,6 +42,16 @@ class PassEventLog:
     events: list[PassEvent] = field(default_factory=list)
 
     def record(self, event: PassEvent) -> None:
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "%s %s on %s.%s (work=%d, changed=%s)",
+                "bypassed" if event.skipped else "ran",
+                event.pass_name,
+                event.module,
+                event.function,
+                event.work,
+                event.changed,
+            )
         self.events.append(event)
 
     # -- aggregate queries -------------------------------------------------

@@ -5,16 +5,29 @@ exactly what a conventional compiler does.  The stateful variant
 (:class:`repro.core.stateful.StatefulPassManager`) subclasses this and
 overrides the single decision point :meth:`should_skip` /
 :meth:`on_pass_executed`.
+
+Observability: alongside the event log the manager reports into a
+:class:`~repro.obs.metrics.MetricsRegistry` (``passes.*`` totals and
+``pass.<name>.*`` breakdowns — the source
+:meth:`~repro.core.statistics.BypassStatistics.from_metrics` consumes)
+and emits pass / pass-pipeline spans into a
+:class:`~repro.obs.trace.Tracer`.  Both default to no-ops; the null
+tracer costs one no-op call per executed pass.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 
 from repro.ir.structure import Function, Module
 from repro.ir.verifier import verify_module
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.passmanager.events import PassEvent, PassEventLog
 from repro.passmanager.pipeline import PassPipeline
+
+logger = logging.getLogger(__name__)
 
 
 class PassManager:
@@ -27,11 +40,25 @@ class PassManager:
     verify_each:
         Verify the whole module after every pass — slow; enabled in
         tests to catch pass bugs at their source.
+    tracer:
+        Span sink for pass/pipeline timing (default: disabled).
+    metrics:
+        Counter registry to report into (default: a private one,
+        exposed as :attr:`metrics` so the driver can collect it).
     """
 
-    def __init__(self, pipeline: PassPipeline, *, verify_each: bool = False):
+    def __init__(
+        self,
+        pipeline: PassPipeline,
+        *,
+        verify_each: bool = False,
+        tracer: NullTracer = NULL_TRACER,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.pipeline = pipeline
         self.verify_each = verify_each
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.log = PassEventLog()
 
     # -- hooks the stateful subclass overrides -----------------------------
@@ -65,6 +92,11 @@ class PassManager:
             start = time.perf_counter()
             stats = module_pass.run_on_module(module)
             elapsed = time.perf_counter() - start
+            self.metrics.inc("passes.module_executed")
+            self.metrics.inc("passes.module_work", stats.work)
+            self.tracer.add(
+                module_pass.name, "pass", start, elapsed, function="<module>"
+            )
             self.log.record(
                 PassEvent(
                     module=module.name,
@@ -83,13 +115,23 @@ class PassManager:
 
         for fn in sorted(module.defined_functions(), key=lambda f: f.name):
             self._run_function_pipeline(fn, module)
+        logger.debug(
+            "module %s: %d pass events (%d executed, %d bypassed)",
+            module.name,
+            len(self.log.events),
+            len(self.log.executed()),
+            len(self.log.skipped()),
+        )
         return self.log
 
     def _run_function_pipeline(self, fn: Function, module: Module) -> None:
+        pipeline_start = time.perf_counter() if self.tracer.enabled else 0.0
         self.begin_function(fn, module)
         for position, function_pass in enumerate(self.pipeline.function_passes):
             fingerprint = self.fingerprint_for_event(fn)
             if self.should_skip(fn, module, position):
+                self.metrics.inc("passes.bypassed")
+                self.metrics.inc(f"pass.{function_pass.name}.bypassed")
                 self.log.record(
                     PassEvent(
                         module=module.name,
@@ -108,6 +150,22 @@ class PassManager:
             stats = function_pass.run_on_function(fn, module)
             elapsed = time.perf_counter() - start
             self.on_pass_executed(fn, module, position, stats.changed)
+            self.metrics.inc("passes.executed")
+            self.metrics.inc("passes.work", stats.work)
+            self.metrics.inc(f"pass.{function_pass.name}.executed")
+            self.metrics.inc(f"pass.{function_pass.name}.work", stats.work)
+            if not stats.changed:
+                self.metrics.inc("passes.dormant")
+                self.metrics.inc(f"pass.{function_pass.name}.dormant")
+            self.tracer.add(
+                function_pass.name,
+                "pass",
+                start,
+                elapsed,
+                function=fn.name,
+                changed=stats.changed,
+                work=stats.work,
+            )
             self.log.record(
                 PassEvent(
                     module=module.name,
@@ -125,3 +183,11 @@ class PassManager:
             if self.verify_each:
                 verify_module(module)
         self.end_function(fn, module)
+        if self.tracer.enabled:
+            self.tracer.add(
+                f"pipeline {fn.name}",
+                "pipeline",
+                pipeline_start,
+                time.perf_counter() - pipeline_start,
+                function=fn.name,
+            )

@@ -10,6 +10,7 @@ from repro.buildsys.parallel import BuildOptions, compile_unit
 from repro.driver import Compiler, CompilerOptions
 from repro.frontend.diagnostics import CompileError
 from repro.frontend.includes import MemoryFileProvider
+from repro.obs.trace import DRIVER_TRACK, Tracer
 from repro.vm.machine import VirtualMachine
 
 FILES = {
@@ -43,9 +44,18 @@ THREADS4 = BuildOptions(jobs=4, executor="thread")
 SERIAL = BuildOptions(jobs=1, executor="serial")
 
 
-def build(files, db, units=UNITS, build_options=THREADS4, link_output=True, **options):
+def build(
+    files,
+    db,
+    units=UNITS,
+    build_options=THREADS4,
+    link_output=True,
+    tracer=None,
+    **options,
+):
     builder = IncrementalBuilder(
-        MemoryFileProvider(files), units, CompilerOptions(**options), db, build_options
+        MemoryFileProvider(files), units, CompilerOptions(**options), db, build_options,
+        **({"tracer": tracer} if tracer is not None else {}),
     )
     return builder.build(link_output=link_output)
 
@@ -134,6 +144,50 @@ class TestReportAttribution:
         assert report.jobs == 1 and report.num_workers == 1
         assert all(unit.worker == "main" for unit in report.compiled)
         assert "-j" not in report.describe()
+
+
+class TestSpanRebasing:
+    """Worker spans must cross the pool boundary onto the driver timeline."""
+
+    def test_worker_spans_rebased_with_attribution(self):
+        tracer = Tracer()
+        report = build(FILES, BuildDatabase(), tracer=tracer, stateful=True)
+        assert report.jobs > 1
+        spans = tracer.spans
+
+        units = [s for s in spans if s.category == "unit"]
+        assert sorted(s.name for s in units) == sorted(UNITS)
+        # Every unit span was compiled on (and re-based onto) a worker
+        # track, and the worker names match the report's attribution.
+        unit_tracks = {s.name: s.track for s in units}
+        reported = {u.path: u.worker for u in report.compiled}
+        assert unit_tracks == reported
+        assert all(track.startswith("reprobuild") for track in unit_tracks.values())
+
+        # Pass and phase spans nest inside a unit span on the same
+        # worker track — nesting survives the re-base.  (One thread may
+        # compile several units, so each child belongs to exactly one.)
+        children = [
+            s for s in spans if s.category in ("pass", "pipeline", "phase")
+            and s.track != DRIVER_TRACK
+        ]
+        assert children
+        for child in children:
+            owners = [u for u in units if u.encloses(child)]
+            assert len(owners) == 1, (child.name, child.track)
+
+        # The driver's own spans stay on the driver track and the build
+        # span encloses every worker span after re-basing.
+        (build_span,) = [s for s in spans if s.category == "build"]
+        assert build_span.track == DRIVER_TRACK
+        slack = 0.05  # wall-clock epochs on one machine agree well within this
+        for span in units:
+            assert build_span.start - slack <= span.start
+            assert span.end <= build_span.end + slack
+
+    def test_untraced_build_collects_nothing(self):
+        report = build(FILES, BuildDatabase(), stateful=True)
+        assert report.num_recompiled == len(UNITS)  # no tracer, still builds
 
 
 class TestFailure:

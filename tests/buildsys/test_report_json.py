@@ -1,0 +1,114 @@
+"""BuildReport JSON schema: round-trip, describe/JSON consistency, serial fields."""
+
+import json
+
+import pytest
+
+from repro.buildsys.builddb import BuildDatabase
+from repro.buildsys.incremental import IncrementalBuilder
+from repro.buildsys.parallel import BuildOptions
+from repro.buildsys.report import REPORT_SCHEMA_VERSION, BuildReport
+from repro.driver import CompilerOptions
+from repro.frontend.includes import MemoryFileProvider
+
+FILES = {
+    "lib.mh": "int twice(int x);\n",
+    "lib.mc": 'include "lib.mh";\nint twice(int x) { return x * 2; }\n',
+    "main.mc": 'include "lib.mh";\nint main() { print(twice(21)); return 0; }\n',
+}
+UNITS = ["lib.mc", "main.mc"]
+
+
+def build(files=FILES, db=None, build_options=None, **options):
+    return IncrementalBuilder(
+        MemoryFileProvider(files),
+        UNITS,
+        CompilerOptions(**options),
+        db if db is not None else BuildDatabase(),
+        build_options or BuildOptions(jobs=1, executor="serial"),
+    ).build()
+
+
+class TestSchema:
+    def test_round_trip_preserves_payload(self):
+        report = build(stateful=True)
+        clone = BuildReport.from_json(report.to_json())
+        assert clone.to_dict() == report.to_dict()
+
+    def test_schema_mismatch_rejected(self):
+        payload = build().to_dict()
+        payload["schema"] = REPORT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            BuildReport.from_dict(payload)
+
+    def test_reasons_serialized_for_every_unit(self):
+        db = BuildDatabase()
+        build(db=db)
+        edited = dict(FILES, **{"main.mc": FILES["main.mc"].replace("21", "22")})
+        payload = build(edited, db=db).to_dict()
+        assert set(payload["reasons"]) == set(UNITS)
+        assert payload["reasons"]["main.mc"]["kind"] == "source-changed"
+        assert payload["reasons"]["lib.mc"]["kind"] == "up-to-date"
+
+    def test_metrics_embedded(self):
+        payload = build(stateful=True).to_dict()
+        counters = payload["metrics"]["counters"]
+        assert counters["passes.executed"] > 0
+        assert "build.total_wall_time" in payload["metrics"]["timings"]
+
+    def test_write_json(self, tmp_path):
+        out = tmp_path / "report.json"
+        report = build()
+        assert report.write_json(out) == out.stat().st_size
+        assert json.loads(out.read_text())["schema"] == REPORT_SCHEMA_VERSION
+
+    def test_image_excluded_from_serialization(self):
+        report = build()
+        assert report.image is not None
+        assert report.to_dict()["summary"]["linked"] is True
+        assert BuildReport.from_json(report.to_json()).image is None
+
+
+class TestSerialFields:
+    """The satellite fix: no 0.0/unset sentinels on the serial path."""
+
+    def test_serial_build_has_meaningful_timings(self):
+        summary = build().to_dict()["summary"]
+        assert summary["jobs"] == 1 and summary["workers"] == 1
+        assert summary["total_wall_time"] > 0.0
+        assert summary["scan_time"] > 0.0
+        assert summary["compile_phase_time"] > 0.0
+        assert summary["compile_wall_time"] > 0.0
+        assert summary["parallel_speedup"] == pytest.approx(1.0, rel=0.2)
+
+    def test_noop_build_speedup_is_neutral(self):
+        db = BuildDatabase()
+        build(db=db)
+        summary = build(db=db).to_dict()["summary"]
+        assert summary["recompiled"] == 0
+        assert summary["parallel_speedup"] == 1.0  # not a 0.0 sentinel
+
+    def test_empty_report_defaults(self):
+        report = BuildReport()
+        assert report.parallel_speedup == 1.0
+        assert report.num_workers == 0
+
+
+class TestDescribe:
+    def test_describe_renders_from_to_dict(self):
+        report = build()
+        summary = report.to_dict()["summary"]
+        text = report.describe()
+        assert f"{summary['recompiled']} recompiled" in text
+        assert f"{summary['up_to_date']} up-to-date" in text
+        assert f"{summary['total_wall_time']:.3f}s" in text
+
+    def test_describe_parallel_block_matches_json(self):
+        report = build(
+            build_options=BuildOptions(jobs=4, executor="thread"), stateful=True
+        )
+        summary = report.to_dict()["summary"]
+        assert summary["jobs"] == 2  # capped at the dirty-unit count
+        text = report.describe()
+        assert f"-j {summary['jobs']}" in text
+        assert f"{summary['parallel_speedup']:.2f}x" in text

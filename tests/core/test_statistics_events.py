@@ -79,6 +79,75 @@ class TestSummarize:
         assert a.by_pass["x"]["work"] == 15
 
 
+class TestMergeEdgeCases:
+    def test_merge_empty_into_populated_is_identity(self):
+        a = BypassStatistics(executions=2, dormant_executions=1, bypassed=3, work_executed=10)
+        a.by_pass["x"] = {"executed": 2, "dormant": 1, "bypassed": 3, "work": 10}
+        before = a.to_dict()
+        a.merge(BypassStatistics())
+        assert a.to_dict() == before
+
+    def test_merge_populated_into_empty_copies(self):
+        a = BypassStatistics()
+        b = BypassStatistics(executions=1, dormant_executions=1, bypassed=0, work_executed=4)
+        b.by_pass["y"] = {"executed": 1, "dormant": 1, "bypassed": 0, "work": 4}
+        a.merge(b)
+        assert a.to_dict() == b.to_dict()
+        # The merge must copy, not alias, the per-pass dicts.
+        a.by_pass["y"]["work"] = 99
+        assert b.by_pass["y"]["work"] == 4
+
+    def test_merge_disjoint_by_pass_keys(self):
+        a = BypassStatistics(executions=1, work_executed=3)
+        a.by_pass["cse"] = {"executed": 1, "dormant": 0, "bypassed": 0, "work": 3}
+        b = BypassStatistics(executions=2, dormant_executions=1, work_executed=7)
+        b.by_pass["gvn"] = {"executed": 2, "dormant": 1, "bypassed": 0, "work": 7}
+        a.merge(b)
+        assert set(a.by_pass) == {"cse", "gvn"}
+        assert a.by_pass["cse"]["work"] == 3 and a.by_pass["gvn"]["work"] == 7
+        assert a.executions == 3 and a.work_executed == 10
+
+    def test_merge_then_ratios(self):
+        a = BypassStatistics(executions=2, dormant_executions=2)
+        b = BypassStatistics(executions=2, dormant_executions=0, bypassed=4)
+        a.merge(b)
+        assert a.dormancy_ratio == 0.5  # 2 dormant of 4 executions
+        assert a.bypass_ratio == 0.5  # 4 bypassed of 8 scheduled runs
+
+    def test_round_trip(self):
+        a = BypassStatistics(executions=2, dormant_executions=1, bypassed=3, work_executed=10)
+        a.by_pass["x"] = {"executed": 2, "dormant": 1, "bypassed": 3, "work": 10}
+        clone = BypassStatistics.from_dict(a.to_dict())
+        assert clone.to_dict() == a.to_dict()
+
+
+class TestFromMetrics:
+    def test_equivalent_to_summarize_log(self):
+        """Registry counters and the event log describe one compilation
+        identically — the registry path is the summary's new source of
+        truth, so they must never drift."""
+        from repro.driver import Compiler, CompilerOptions
+        from repro.frontend.includes import MemoryFileProvider
+
+        source = (
+            "int helper(int x) { int y = x * 2; return y + 1; }\n"
+            "int main() { print(helper(20)); return 0; }\n"
+        )
+        provider = MemoryFileProvider({})
+        for stateful in (False, True):
+            compiler = Compiler(provider, CompilerOptions(stateful=stateful))
+            result = compiler.compile_source("unit.mc", source)
+            from_log = summarize_log(result.events)
+            from_registry = BypassStatistics.from_metrics(result.metrics)
+            assert from_registry.to_dict() == from_log.to_dict()
+
+    def test_empty_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        stats = BypassStatistics.from_metrics(MetricsRegistry())
+        assert stats.executions == 0 and stats.by_pass == {}
+
+
 class TestPipelines:
     def test_position_names_stable(self):
         p = build_pipeline("O2")

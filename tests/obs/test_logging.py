@@ -1,0 +1,79 @@
+"""Logging helper: namespace, level resolution, idempotent setup."""
+
+import io
+import logging
+
+from repro.obs.logging import get_logger, resolve_level, setup_logging
+
+_FLAG = "_repro_obs_handler"
+
+
+def _teardown():
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, _FLAG, False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_bare_suffix_lands_under_repro(self):
+        assert get_logger("buildsys").name == "repro.buildsys"
+
+    def test_full_module_path_kept(self):
+        assert get_logger("repro.core.state").name == "repro.core.state"
+
+    def test_root_name_kept(self):
+        assert get_logger("repro").name == "repro"
+
+
+class TestResolveLevel:
+    def test_default_is_warning(self):
+        assert resolve_level(0, env="") == logging.WARNING
+
+    def test_verbosity_steps(self):
+        assert resolve_level(1, env="") == logging.INFO
+        assert resolve_level(2, env="") == logging.DEBUG
+        assert resolve_level(5, env="") == logging.DEBUG
+
+    def test_env_overrides_when_more_verbose(self):
+        assert resolve_level(0, env="debug") == logging.DEBUG
+        assert resolve_level(0, env="info") == logging.INFO
+
+    def test_more_verbose_side_wins(self):
+        assert resolve_level(2, env="info") == logging.DEBUG
+        assert resolve_level(1, env="debug") == logging.DEBUG
+
+    def test_garbage_env_ignored(self):
+        assert resolve_level(0, env="shouty") == logging.WARNING
+
+
+class TestSetupLogging:
+    def test_installs_one_handler_idempotently(self):
+        try:
+            setup_logging(1, env="")
+            setup_logging(2, env="")
+            root = logging.getLogger("repro")
+            ours = [h for h in root.handlers if getattr(h, _FLAG, False)]
+            assert len(ours) == 1
+            assert root.level == logging.DEBUG  # the later, louder call won
+        finally:
+            _teardown()
+
+    def test_module_loggers_reach_the_stream(self):
+        stream = io.StringIO()
+        try:
+            setup_logging(2, env="", stream=stream)
+            logging.getLogger("repro.buildsys.incremental").debug("scanned %d", 3)
+            assert "repro.buildsys.incremental: scanned 3" in stream.getvalue()
+        finally:
+            _teardown()
+
+    def test_quiet_by_default(self):
+        stream = io.StringIO()
+        try:
+            setup_logging(0, env="", stream=stream)
+            logging.getLogger("repro.core.state").info("chatty")
+            assert stream.getvalue() == ""
+        finally:
+            _teardown()

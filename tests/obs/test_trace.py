@@ -1,0 +1,116 @@
+"""Tracer spans, the null tracer, and the Chrome trace_event exporter."""
+
+import json
+import time
+
+from repro.obs.trace import (
+    DRIVER_TRACK,
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    chrome_trace_events,
+)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        with tracer.span("anything", "phase"):
+            pass
+        tracer.add("x", "phase", 0.0, 1.0)
+        tracer.absorb([SpanRecord("x", "phase", 0.0, 1.0)], 0.0, track="w")
+        assert tracer.spans == []
+
+    def test_singleton_is_shared(self):
+        assert NULL_TRACER.spans == []
+        NULL_TRACER.add("x", "phase", 0.0, 1.0)
+        assert NULL_TRACER.spans == []
+
+
+class TestTracer:
+    def test_span_context_manager_records(self):
+        tracer = Tracer()
+        assert tracer.enabled
+        with tracer.span("scan", "phase", units=3):
+            time.sleep(0.001)
+        (span,) = tracer.spans
+        assert span.name == "scan" and span.category == "phase"
+        assert span.duration >= 0.001
+        assert span.args == {"units": 3}
+        assert span.track == DRIVER_TRACK
+
+    def test_add_rebases_onto_epoch(self):
+        tracer = Tracer()
+        start = time.perf_counter()
+        tracer.add("unit", "unit", start, 0.5)
+        (span,) = tracer.spans
+        # Start was "now", i.e. almost exactly at the epoch distance.
+        assert 0.0 <= span.start < 5.0
+        assert span.duration == 0.5
+
+    def test_nesting_encloses(self):
+        tracer = Tracer()
+        with tracer.span("outer", "phase"):
+            with tracer.span("inner", "pass"):
+                pass
+        inner, outer = tracer.spans  # inner exits (and records) first
+        assert outer.name == "outer"
+        assert outer.encloses(inner)
+        assert not inner.encloses(outer)
+
+    def test_absorb_rebases_worker_spans(self):
+        driver = Tracer()
+        worker = Tracer(track="w1")
+        with worker.span("unit.mc", "unit"):
+            time.sleep(0.001)
+        driver.absorb(worker.spans, worker.epoch_wall, track="pid-7")
+        (span,) = driver.spans
+        assert span.track == "pid-7"
+        # Worker started after the driver, so the re-based start is
+        # positive on the driver timeline.
+        assert span.start >= 0.0
+        assert span.duration >= 0.001
+
+
+class TestChromeExport:
+    def test_export_structure(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("build", "build"):
+            with tracer.span("compile", "phase"):
+                pass
+        tracer.absorb(
+            [SpanRecord("unit.mc", "unit", 0.0, 0.25)], tracer.epoch_wall, track="w0"
+        )
+        out = tmp_path / "trace.json"
+        tracer.write(out)
+
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"build", "compile", "unit.mc"}
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert event["pid"] == 1
+        tracks = {e["args"]["name"]: e["tid"] for e in meta}
+        assert set(tracks) == {DRIVER_TRACK, "w0"}
+        # Every complete event lands on a named track.
+        assert {e["tid"] for e in complete} <= set(tracks.values())
+
+    def test_track_tids_assigned_in_first_seen_order(self):
+        spans = [
+            SpanRecord("a", "unit", 0.0, 1.0, track="driver"),
+            SpanRecord("b", "unit", 0.0, 1.0, track="w1"),
+            SpanRecord("c", "unit", 0.0, 1.0, track="w2"),
+            SpanRecord("d", "unit", 2.0, 1.0, track="w1"),
+        ]
+        events = chrome_trace_events(spans)
+        tids = {e["args"]["name"]: e["tid"] for e in events if e["ph"] == "M"}
+        assert tids == {"driver": 1, "w1": 2, "w2": 3}
+
+    def test_negative_start_clamped(self):
+        events = chrome_trace_events([SpanRecord("early", "unit", -0.5, 1.0)])
+        (event,) = [e for e in events if e["ph"] == "X"]
+        assert event["ts"] == 0

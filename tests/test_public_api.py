@@ -19,7 +19,9 @@ SUBMODULES = [
     "repro.buildsys",
     "repro.buildsys.builddb",
     "repro.buildsys.deps",
+    "repro.buildsys.explain",
     "repro.buildsys.incremental",
+    "repro.buildsys.parallel",
     "repro.buildsys.report",
     "repro.cli",
     "repro.core",
@@ -27,6 +29,10 @@ SUBMODULES = [
     "repro.frontend",
     "repro.ir",
     "repro.lowering",
+    "repro.obs",
+    "repro.obs.logging",
+    "repro.obs.metrics",
+    "repro.obs.trace",
     "repro.passes",
     "repro.passmanager",
     "repro.vm",
