@@ -1,0 +1,95 @@
+"""The 6-build edit-trace demo behind the CI build-health artifacts.
+
+Materializes a generated project on disk, drives six ``reprobuild``
+invocations through an edit trace (clean build + five incremental
+rebuilds), then runs the three analytics subcommands over the history
+the builds appended:
+
+- ``reprobuild history``  — prints the timeline table;
+- ``reprobuild regress --audit`` — drift checks plus the
+  fingerprint-collision audit (exit 1 on any finding, which fails CI);
+- ``reprobuild dashboard`` — writes the self-contained HTML page.
+
+Usage::
+
+    python benchmarks/history_demo.py [OUTDIR] [--builds N] [--sample N]
+
+Everything lands under OUTDIR (default ``demo-out``): the project tree,
+``build.reprodb`` + ``build.reprodb.history.jsonl``, and
+``dashboard.html``.  CI uploads the history and dashboard as artifacts
+and gates on this script's exit status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+from pathlib import Path
+
+from repro.cli import (
+    reprobuild_dashboard_main,
+    reprobuild_history_main,
+    reprobuild_main,
+    reprobuild_regress_main,
+)
+from repro.workload.edits import apply_edit, random_edit_sequence
+from repro.workload.generator import generate_project
+from repro.workload.spec import make_preset
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("outdir", nargs="?", default="demo-out")
+    parser.add_argument("--preset", default="small")
+    parser.add_argument("--builds", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--sample", type=int, default=20,
+        help="bypassed pairs the collision audit re-executes (default 20)",
+    )
+    args = parser.parse_args(argv)
+
+    out = Path(args.outdir)
+    if out.exists():
+        shutil.rmtree(out)
+    proj_dir = out / "proj"
+    db = str(out / "build.reprodb")
+
+    spec = make_preset(args.preset, seed=args.seed)
+    edits = random_edit_sequence(spec, args.builds - 1, seed=args.seed)
+    for i in range(args.builds):
+        if proj_dir.exists():
+            shutil.rmtree(proj_dir)
+        generate_project(spec).write_to(proj_dir)
+        label = "clean" if i == 0 else f"edit-{i}"
+        rc = reprobuild_main(
+            [str(proj_dir), "--stateful", "--db", db, "--label", label]
+        )
+        if rc != 0:
+            print(f"history_demo: build {i} failed (rc={rc})", file=sys.stderr)
+            return rc
+        if i < args.builds - 1:
+            spec = apply_edit(spec, edits[i])
+
+    print("\n== reprobuild history ==", file=sys.stderr)
+    rc = reprobuild_history_main(["--db", db])
+    if rc != 0:
+        return rc
+
+    print("\n== reprobuild regress --audit ==", file=sys.stderr)
+    rc = reprobuild_regress_main(
+        [str(proj_dir), "--db", db, "--audit", "--sample", str(args.sample)]
+    )
+    if rc != 0:
+        print("history_demo: regress found drift or a collision", file=sys.stderr)
+        return rc
+
+    print("\n== reprobuild dashboard ==", file=sys.stderr)
+    return reprobuild_dashboard_main(
+        ["--db", db, "-o", str(out / "dashboard.html")]
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

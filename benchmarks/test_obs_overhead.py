@@ -16,13 +16,20 @@ from bench_util import DEFAULT_SEED, publish, run_once
 from repro.buildsys.builddb import BuildDatabase
 from repro.buildsys.incremental import IncrementalBuilder
 from repro.driver import CompilerOptions
+from repro.obs.history import BuildHistory, HistoryRecord
+from repro.obs.profiling import NULL_PROFILER
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.workload.edits import apply_edit, random_edit_sequence
 from repro.workload.generator import generate_project
 from repro.workload.spec import make_preset
 
 #: Acceptance bound: hook calls with tracing disabled cost less than
 #: this fraction of a clean build.
 NOOP_BUDGET = 0.02
+
+#: Acceptance bound: appending one history record costs less than this
+#: fraction of the incremental build it records.
+HISTORY_BUDGET = 0.02
 
 
 def _clean_build(project, tracer):
@@ -97,3 +104,74 @@ def test_noop_tracer_overhead_under_budget(benchmark):
         f"disabled tracing costs {noop_overhead:.2%} of a clean build"
         f" ({calls} calls at {per_call * 1e9:.0f} ns)"
     )
+
+
+def _incremental_build(spec, db):
+    project = generate_project(spec)
+    builder = IncrementalBuilder(
+        project.provider(), project.unit_paths, CompilerOptions(stateful=True), db
+    )
+    start = time.perf_counter()
+    report = builder.build()
+    return report, time.perf_counter() - start
+
+
+def test_history_persistence_overhead_under_budget(benchmark, tmp_path):
+    """Every build appends one history record; that must stay noise."""
+
+    def experiment():
+        # "medium" keeps the denominator representative: a "small"
+        # incremental build is so quick the ~1 ms append dominates it.
+        spec = make_preset("medium", seed=DEFAULT_SEED)
+        db = BuildDatabase()
+        _incremental_build(spec, db)
+        # Median of 3 single-edit rebuilds, a fresh edit per sample so
+        # every one is a genuine incremental build (not a no-op).
+        samples = []
+        for edit in random_edit_sequence(spec, 3, seed=DEFAULT_SEED):
+            spec = apply_edit(spec, edit)
+            samples.append(_incremental_build(spec, db))
+        report, build_time = sorted(samples, key=lambda s: s[1])[1]
+
+        history = BuildHistory(tmp_path / "bench.history.jsonl")
+        payload = report.to_dict()
+        appends = []
+        for _ in range(3):
+            start = time.perf_counter()
+            record = HistoryRecord.from_report_payload(
+                history.next_seq(), time.time(), payload, label="bench"
+            )
+            history.append(record)
+            appends.append(time.perf_counter() - start)
+        append_time = sorted(appends)[1]
+        return report, build_time, append_time, append_time / build_time
+
+    report, build_time, append_time, overhead = run_once(benchmark, experiment)
+
+    publish(
+        "history_overhead",
+        "\n".join(
+            [
+                "Build-history persistence overhead (incremental 'medium' build)",
+                f"  incremental build wall : {build_time:.3f} s",
+                f"  record build + append  : {append_time * 1e3:.2f} ms",
+                f"  history overhead       : {overhead:.3%} (budget {HISTORY_BUDGET:.0%})",
+            ]
+        ),
+    )
+
+    assert overhead < HISTORY_BUDGET, (
+        f"history persistence costs {overhead:.2%} of an incremental build"
+        f" ({append_time * 1e3:.2f} ms on {build_time:.3f} s)"
+    )
+    # --profile is strictly opt-in: the default build path must not
+    # have collected any profile payload.
+    assert report.profile == {}
+
+
+def test_profiler_defaults_to_null():
+    project = generate_project(make_preset("tiny", seed=DEFAULT_SEED))
+    builder = IncrementalBuilder(
+        project.provider(), project.unit_paths, CompilerOptions(), BuildDatabase()
+    )
+    assert builder.profiler is NULL_PROFILER

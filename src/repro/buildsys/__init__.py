@@ -30,19 +30,37 @@ instead of — a competent build system:
   ``reprobuild explain``: why each unit was rebuilt or skipped (source
   digest change vs header-closure change vs up to date), kept
   decision-identical to :meth:`BuildDatabase.up_to_date`.
+- :mod:`repro.buildsys.audit` — the fingerprint-collision audit behind
+  ``reprobuild regress --audit``: re-execute a sample of bypassed
+  (fingerprint, pass) pairs against a state snapshot and confirm the
+  dormancy records told the truth.
 """
 
+from repro.buildsys.audit import (
+    AuditingStatefulPassManager,
+    CollisionAuditResult,
+    audit_fingerprint_collisions,
+)
 from repro.buildsys.builddb import DB_SCHEMA_VERSION, BuildDatabase, UnitRecord
 from repro.buildsys.deps import DependencyScanner, DependencySnapshot, content_digest
 from repro.buildsys.explain import RebuildReason, explain_unit, rebuild_reason
 from repro.buildsys.incremental import IncrementalBuilder
 from repro.buildsys.parallel import BuildOptions, UnitOutcome
-from repro.buildsys.report import REPORT_SCHEMA_VERSION, BuildReport, UnitBuildResult
+from repro.buildsys.report import (
+    READABLE_REPORT_SCHEMAS,
+    REPORT_SCHEMA_VERSION,
+    BuildReport,
+    UnitBuildResult,
+)
 
 __all__ = [
     "DB_SCHEMA_VERSION",
+    "READABLE_REPORT_SCHEMAS",
     "REPORT_SCHEMA_VERSION",
+    "AuditingStatefulPassManager",
     "BuildDatabase",
+    "CollisionAuditResult",
+    "audit_fingerprint_collisions",
     "UnitRecord",
     "DependencyScanner",
     "DependencySnapshot",

@@ -58,6 +58,7 @@ from repro.driver import Compiler, CompilerOptions
 from repro.frontend.diagnostics import CompileError
 from repro.frontend.includes import FileProvider, IncludeError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import NULL_PROFILER, WORKER_PHASE, NullBuildProfiler
 from repro.obs.trace import NULL_TRACER, NullTracer
 
 logger = logging.getLogger(__name__)
@@ -82,6 +83,7 @@ class IncrementalBuilder:
         *,
         tracer: NullTracer = NULL_TRACER,
         metrics: MetricsRegistry | None = None,
+        profiler: NullBuildProfiler = NULL_PROFILER,
     ):
         self.provider = provider
         self.unit_paths = list(unit_paths)
@@ -92,6 +94,7 @@ class IncrementalBuilder:
         )
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler
 
     # -- state plumbing -----------------------------------------------------
 
@@ -130,7 +133,8 @@ class IncrementalBuilder:
 
         scan_start = time.perf_counter()
         scanner = DependencyScanner(self.provider, metrics=self.metrics)
-        snapshots = {path: scanner.snapshot(path) for path in self.unit_paths}
+        with self.profiler.phase("scan"):
+            snapshots = {path: scanner.snapshot(path) for path in self.unit_paths}
         report.scan_time = time.perf_counter() - scan_start
         self.tracer.add("scan", "phase", scan_start, report.scan_time)
         self.metrics.observe("build.scan_time", report.scan_time)
@@ -166,7 +170,10 @@ class IncrementalBuilder:
         objects: dict[str, ObjectFile] = {}
         phase_start = time.perf_counter()
         if jobs <= 1:
-            error = self._compile_serial(compiler, snapshots, dirty, report, objects)
+            with self.profiler.phase("compile"):
+                error = self._compile_serial(
+                    compiler, snapshots, dirty, report, objects
+                )
         else:
             error = self._compile_parallel(
                 compiler, snapshots, dirty, report, objects, jobs
@@ -179,24 +186,33 @@ class IncrementalBuilder:
         if self.options.stateful and compiler.state is not None:
             if error is None:
                 gc_start = time.perf_counter()
-                compiler.state.collect_garbage()
+                with self.profiler.phase("state-gc"):
+                    compiler.state.collect_garbage()
                 if self.tracer.enabled:
                     self.tracer.add(
                         "state-gc", "phase", gc_start, time.perf_counter() - gc_start
                     )
             self.db.live_state = compiler.state
-            report.state_records = compiler.state.num_records
-            self.metrics.set_gauge("state.records", compiler.state.num_records)
+            size = compiler.state.size_summary()
+            report.state_records = size["records"]
+            report.state_bytes = size["bytes"]
+            self.metrics.set_gauge("state.records", size["records"])
+            self.metrics.set_gauge("state.bytes", size["bytes"])
+            self.metrics.set_gauge("state.gc_runs", size["gc_runs"])
+            self.metrics.set_gauge("state.gc_reclaimed_total", size["gc_reclaimed_total"])
+            self.metrics.set_gauge("state.gc_reclaimed_last", size["gc_reclaimed_last"])
 
         if error is not None:
             report.metrics = self.metrics.to_dict()
+            report.profile = self.profiler.to_payload()
             raise error
 
         self.db.prune(self.unit_paths)
 
         if link_output:
             start = time.perf_counter()
-            report.image = self._link(objects)
+            with self.profiler.phase("link"):
+                report.image = self._link(objects)
             report.link_time = time.perf_counter() - start
             self.tracer.add("link", "phase", start, report.link_time)
             self.metrics.observe("build.link_time", report.link_time)
@@ -213,6 +229,7 @@ class IncrementalBuilder:
         )
         self.metrics.observe("build.total_wall_time", report.total_wall_time)
         report.metrics = self.metrics.to_dict()
+        report.profile = self.profiler.to_payload()
         return report
 
     # -- compile strategies -------------------------------------------------
@@ -239,7 +256,7 @@ class IncrementalBuilder:
             wall = time.perf_counter() - start
 
             stats = BypassStatistics.from_metrics(result.metrics)
-            self.metrics.merge(result.metrics)
+            self.metrics.merge(result.metrics, source="driver")
             report.bypass.merge(stats)
             report.compiled.append(
                 UnitBuildResult(
@@ -293,6 +310,7 @@ class IncrementalBuilder:
             jobs=jobs,
             executor=self.build_options.executor,
             trace=self.tracer.enabled,
+            profile=self.profiler.enabled,
         )
 
         error: Exception | None = None
@@ -326,7 +344,9 @@ class IncrementalBuilder:
         """Fold one successful worker outcome into the build products."""
         report.bypass.merge(outcome.stats)
         if outcome.metrics is not None:
-            self.metrics.merge(outcome.metrics)
+            self.metrics.merge(outcome.metrics, source=outcome.worker)
+        if outcome.profile:
+            self.profiler.absorb(WORKER_PHASE, outcome.profile)
         if outcome.spans:
             # Re-base the worker's spans onto the driver timeline; the
             # worker name attributes them to their own track.

@@ -124,6 +124,10 @@ class UnitOutcome:
     worker: str = "main"
     #: The unit's metrics registry, merged into the build's by the driver.
     metrics: MetricsRegistry | None = None
+    #: Callers-stripped ``cProfile`` stats table (empty unless the build
+    #: runs with ``--profile``); the driver absorbs it into the
+    #: ``compile-workers`` phase of the build profiler.
+    profile: dict = field(default_factory=dict)
     #: Trace spans from the worker's tracer (empty unless tracing), with
     #: the wall-clock epoch the driver needs to re-base them.
     spans: list[SpanRecord] = field(default_factory=list)
@@ -161,11 +165,13 @@ def _init_worker(
     options: CompilerOptions,
     state: CompilerState | None,
     trace: bool = False,
+    profile: bool = False,
 ) -> None:
     _WORKER_CONTEXT["provider"] = provider
     _WORKER_CONTEXT["options"] = options
     _WORKER_CONTEXT["state"] = state
     _WORKER_CONTEXT["trace"] = trace
+    _WORKER_CONTEXT["profile"] = profile
 
 
 def _worker_name() -> str:
@@ -183,6 +189,7 @@ def compile_unit(
     *,
     worker: str = "main",
     trace: bool = False,
+    profile: bool = False,
 ) -> UnitOutcome:
     """Compile one unit against a private state copy; never raises.
 
@@ -193,7 +200,9 @@ def compile_unit(
 
     With ``trace=True`` the unit compiles under its own
     :class:`~repro.obs.trace.Tracer`; the spans (and the wall-clock
-    epoch needed to re-base them) ship back inside the outcome.
+    epoch needed to re-base them) ship back inside the outcome.  With
+    ``profile=True`` the compile runs under ``cProfile`` and the
+    callers-stripped stats table ships back in ``outcome.profile``.
     """
     outcome = UnitOutcome(path=path, worker=worker)
     worker_state = None
@@ -203,6 +212,12 @@ def compile_unit(
     tracer = Tracer(track=worker) if trace else NULL_TRACER
     compiler = Compiler(provider, options, state=worker_state, tracer=tracer)
 
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     start = time.perf_counter()
     try:
         result = compiler.compile_file(path)
@@ -215,7 +230,14 @@ def compile_unit(
         outcome.error_kind = "include"
         outcome.error_message = str(exc)
         return outcome
+    finally:
+        if profiler is not None:
+            profiler.disable()
     outcome.wall_time = time.perf_counter() - start
+    if profiler is not None:
+        from repro.obs.profiling import profile_stats_table
+
+        outcome.profile = profile_stats_table(profiler)
 
     outcome.object_json = result.object_file.to_json()
     outcome.stats = BypassStatistics.from_metrics(result.metrics)
@@ -241,6 +263,7 @@ def _compile_unit_task(path: str) -> UnitOutcome:
         path,
         worker=_worker_name(),
         trace=_WORKER_CONTEXT.get("trace", False),
+        profile=_WORKER_CONTEXT.get("profile", False),
     )
 
 
@@ -288,6 +311,7 @@ def compile_units(
     jobs: int,
     executor: str = "process",
     trace: bool = False,
+    profile: bool = False,
 ) -> dict[str, UnitOutcome]:
     """Compile ``paths`` concurrently; returns outcomes keyed by path.
 
@@ -297,7 +321,7 @@ def compile_units(
     thread pool — compilation is deterministic and nothing has been
     merged yet, so a full retry is safe.
     """
-    initargs = (provider, options, state, trace)
+    initargs = (provider, options, state, trace, profile)
     if executor == "process":
         try:
             return _run_pool("process", jobs, initargs, paths)

@@ -24,7 +24,14 @@ from repro.backend.linker import LinkedImage
 from repro.buildsys.explain import RebuildReason
 from repro.core.statistics import BypassStatistics
 
-REPORT_SCHEMA_VERSION = 1
+#: Current schema: v2 adds ``summary.state_bytes`` and the top-level
+#: ``profile`` table (both absent-tolerant, so v1 payloads still load).
+REPORT_SCHEMA_VERSION = 2
+
+#: Schemas :meth:`BuildReport.from_dict` can still read.  Anything
+#: *newer* than the current version is rejected outright — a future
+#: writer may have changed field meanings this reader cannot know about.
+READABLE_REPORT_SCHEMAS = (1, 2)
 
 
 @dataclass
@@ -86,6 +93,9 @@ class BuildReport:
     link_time: float = 0.0
     #: Dormancy records in the live compiler state (0 when stateless).
     state_records: int = 0
+    #: Serialized size of the live compiler state in bytes (0 when
+    #: stateless) — the dashboard's state-growth axis.
+    state_bytes: int = 0
     #: The linked executable (``None`` when built with link_output=False).
     image: LinkedImage | None = None
     #: Concurrent compile jobs actually used for this build.
@@ -96,6 +106,9 @@ class BuildReport:
     #: Snapshot of the build's metrics registry
     #: (:meth:`~repro.obs.metrics.MetricsRegistry.to_dict` payload).
     metrics: dict = field(default_factory=dict)
+    #: Self-profiling payload (:meth:`BuildProfiler.to_payload`) when the
+    #: build ran with ``--profile``; empty otherwise.
+    profile: dict = field(default_factory=dict)
     #: Whether the build linked an image.  The image itself is excluded
     #: from serialization, so deserialized reports carry the fact
     #: through this flag (kept in sync by :attr:`linked`).
@@ -156,6 +169,7 @@ class BuildReport:
                 "link_time": self.link_time,
                 "total_pass_work": self.total_pass_work,
                 "state_records": self.state_records,
+                "state_bytes": self.state_bytes,
                 "linked": self.linked,
             },
             "compiled": [unit.to_dict() for unit in self.compiled],
@@ -166,6 +180,7 @@ class BuildReport:
                 for path, reason in sorted(self.reasons.items())
             },
             "metrics": self.metrics,
+            "profile": self.profile,
         }
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -173,9 +188,18 @@ class BuildReport:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "BuildReport":
-        if payload.get("schema") != REPORT_SCHEMA_VERSION:
+        schema = payload.get("schema")
+        if schema not in READABLE_REPORT_SCHEMAS:
+            if isinstance(schema, int) and schema > REPORT_SCHEMA_VERSION:
+                raise ValueError(
+                    f"build report schema v{schema} is newer than this "
+                    f"reader supports (current v{REPORT_SCHEMA_VERSION}, "
+                    f"readable {READABLE_REPORT_SCHEMAS}); upgrade repro "
+                    "to read reports written by a newer version"
+                )
             raise ValueError(
-                f"build report schema {payload.get('schema')} != {REPORT_SCHEMA_VERSION}"
+                f"unreadable build report schema {schema!r}; "
+                f"readable versions: {READABLE_REPORT_SCHEMAS}"
             )
         summary = payload.get("summary", {})
         report = cls(
@@ -190,9 +214,11 @@ class BuildReport:
             scan_time=float(summary.get("scan_time", 0.0)),
             link_time=float(summary.get("link_time", 0.0)),
             state_records=int(summary.get("state_records", 0)),
+            state_bytes=int(summary.get("state_bytes", 0)),
             jobs=int(summary.get("jobs", 1)),
             compile_phase_time=float(summary.get("compile_phase_time", 0.0)),
             metrics=payload.get("metrics", {}),
+            profile=payload.get("profile", {}),
             was_linked=bool(summary.get("linked", False)),
         )
         return report

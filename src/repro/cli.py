@@ -10,19 +10,31 @@
 
     reprobuild src/ --db build.reprodb --stateful --run
     reprobuild src/ -j 4 --trace-out trace.json --report-json report.json
+    reprobuild src/ --stateful --profile --label "after refactor"
     reprobuild explain src/ main.mc --db build.reprodb
+    reprobuild history --db build.reprodb          # cross-build timeline
+    reprobuild regress --db build.reprodb          # dormancy-drift checks
+    reprobuild regress src/ --audit --db build.reprodb   # + collision audit
+    reprobuild dashboard --db build.reprodb -o dashboard.html
 
 Observability flags shared by the tools: ``-v``/``-vv`` (or
 ``REPRO_LOG=info|debug``) turns on structured logging,
 ``--trace-out FILE`` writes a Chrome ``trace_event`` JSON timeline
 (load it in ``chrome://tracing`` or Perfetto), and ``reprobuild``'s
 ``--report-json FILE`` writes the machine-readable build report.
+
+Every ``reprobuild`` run also appends its report to the build-history
+store beside the DB (``<db>.history.jsonl``; disable with
+``--no-history``), which is what ``history``/``regress``/``dashboard``
+read.  ``--profile`` runs the build under ``cProfile`` (driver phases
+and workers merged) and writes per-phase ``.pstats`` files.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.backend.linker import link
@@ -35,7 +47,9 @@ from repro.core.statistics import BypassStatistics
 from repro.driver import Compiler, CompilerOptions
 from repro.frontend.diagnostics import CompileError
 from repro.frontend.includes import DiskFileProvider
+from repro.obs.history import BuildHistory, HistoryRecord, default_history_path
 from repro.obs.logging import setup_logging
+from repro.obs.profiling import NULL_PROFILER, BuildProfiler
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.ir.printer import print_module
 from repro.vm.machine import VirtualMachine
@@ -269,6 +283,12 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "explain":
         return reprobuild_explain_main(argv[1:])
+    if argv and argv[0] == "history":
+        return reprobuild_history_main(argv[1:])
+    if argv and argv[0] == "regress":
+        return reprobuild_regress_main(argv[1:])
+    if argv and argv[0] == "dashboard":
+        return reprobuild_dashboard_main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="reprobuild", description="incremental builder")
     parser.add_argument("directory", help="project directory containing .mc/.mh files")
@@ -292,6 +312,27 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--run", action="store_true", help="execute the linked image")
     parser.add_argument("--entry", default="main", help="entry function (default main)")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the build under cProfile; writes per-phase .pstats files "
+             "and records the hotspots in the build history",
+    )
+    parser.add_argument(
+        "--profile-dir", metavar="DIR",
+        help="directory for --profile .pstats output (default <db>.pstats)",
+    )
+    parser.add_argument(
+        "--label", default="",
+        help="free-form label stored with this build's history record",
+    )
+    parser.add_argument(
+        "--history", metavar="FILE", dest="history_path",
+        help="build-history file (default <db>.history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this build to the history store",
+    )
     args = parser.parse_args(argv)
     setup_logging(args.verbose)
 
@@ -308,9 +349,10 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
     options = _options_from_args(args)
     build_options = BuildOptions(jobs=args.jobs, executor=args.executor)
     tracer = _make_tracer(args)
+    profiler = BuildProfiler() if args.profile else NULL_PROFILER
     builder = IncrementalBuilder(
         project.provider(), project.unit_paths, options, db, build_options,
-        tracer=tracer,
+        tracer=tracer, profiler=profiler,
     )
 
     try:
@@ -328,6 +370,25 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
         tracer.write(args.trace_out)
     if args.report_json:
         report.write_json(args.report_json)
+    if args.profile:
+        profile_dir = args.profile_dir or f"{args.db}.pstats"
+        written = profiler.write_pstats(profile_dir)
+        print(
+            f"profile: {len(written)} .pstats file(s) in {profile_dir}",
+            file=sys.stderr,
+        )
+    if not args.no_history:
+        history = BuildHistory(
+            args.history_path or default_history_path(args.db)
+        )
+        record = HistoryRecord.from_report_payload(
+            history.next_seq(),
+            time.time(),
+            report.to_dict(),
+            label=args.label,
+            profile=report.profile,
+        )
+        history.append(record)
     if args.explain:
         for path in sorted(report.reasons):
             print(report.reasons[path].describe(), file=sys.stderr)
@@ -411,6 +472,228 @@ def reprobuild_explain_main(argv: list[str] | None = None) -> int:
     scanner = DependencyScanner(project.provider())
     for path in units:
         print(explain_unit(db, scanner.snapshot(path), top=args.top))
+    return 0
+
+
+def _history_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--db", default="build.reprodb", help="build database path")
+    parser.add_argument(
+        "--history", metavar="FILE", dest="history_path",
+        help="build-history file (default <db>.history.jsonl)",
+    )
+
+
+def _load_history(args: argparse.Namespace):
+    """(records, stats) for the history the flags point at."""
+    path = Path(args.history_path) if args.history_path else default_history_path(args.db)
+    return BuildHistory(path).read(), path
+
+
+def reprobuild_history_main(argv: list[str] | None = None) -> int:
+    """``reprobuild history``: the cross-build timeline, tabulated."""
+    parser = argparse.ArgumentParser(
+        prog="reprobuild history",
+        description="tabulate the cross-build history store",
+    )
+    _history_flags(parser)
+    parser.add_argument(
+        "-n", "--last", type=int, default=20,
+        help="show at most the last N builds (default 20; 0 = all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the records as JSON lines instead of the table",
+    )
+    args = parser.parse_args(argv)
+
+    (records, stats), path = _load_history(args)
+    if not records:
+        print(f"reprobuild history: no builds recorded in {path}", file=sys.stderr)
+        return 1
+    if args.last > 0:
+        records = records[-args.last:]
+
+    if args.json:
+        import json as _json
+
+        for record in records:
+            print(_json.dumps(record.to_dict(), sort_keys=True))
+        return 0
+
+    header = (
+        f"{'seq':>5}  {'when':19}  {'label':16}  {'recomp':>6}  {'cached':>6}  "
+        f"{'wall(s)':>8}  {'bypass%':>7}  {'state':>7}  {'st-KB':>7}  {'gc':>4}"
+    )
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(record.timestamp))
+        label = record.label[:16]
+        print(
+            f"{record.seq:>5}  {when:19}  {label:16}  {record.recompiled:>6}  "
+            f"{record.up_to_date:>6}  {record.total_wall_time:>8.3f}  "
+            f"{record.bypass_rate * 100:>6.1f}%  {record.state_records:>7}  "
+            f"{record.state_bytes / 1024:>7.1f}  {record.gc_reclaimed:>4}"
+        )
+    parts = [f"{stats.loaded} build(s) loaded from {path}"]
+    if stats.truncated:
+        parts.append("1 torn final line dropped")
+    if stats.corrupt:
+        parts.append(f"{stats.corrupt} corrupt line(s) skipped")
+    if stats.newer_schema:
+        parts.append(f"{stats.newer_schema} newer-schema record(s) skipped")
+    print("; ".join(parts), file=sys.stderr)
+    return 0
+
+
+def reprobuild_regress_main(argv: list[str] | None = None) -> int:
+    """``reprobuild regress``: dormancy-drift checks (+ collision audit).
+
+    Exit status: 0 when every check is quiet, 1 when drift was detected
+    or the audit found a mismatch — CI gates on it directly.
+    """
+    parser = argparse.ArgumentParser(
+        prog="reprobuild regress",
+        description="detect bypass-rate drops, pass-wall regressions, and "
+                    "unbounded state growth across the build history",
+    )
+    parser.add_argument(
+        "directory", nargs="?",
+        help="project directory (required for --audit)",
+    )
+    _history_flags(parser)
+    parser.add_argument(
+        "--window", type=int, default=8,
+        help="baseline window: median of the previous N builds (default 8)",
+    )
+    parser.add_argument(
+        "--bypass-drop", type=float, default=0.15,
+        help="flag a bypass-rate drop bigger than this (default 0.15)",
+    )
+    parser.add_argument(
+        "--wall-factor", type=float, default=2.0,
+        help="flag a per-pass wall regression beyond baseline x this "
+             "(default 2.0; paired with a 2ms absolute floor)",
+    )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="re-execute a sample of bypassed (fingerprint, pass) pairs "
+             "against the DB's compiler state and verify zero collisions",
+    )
+    parser.add_argument(
+        "--sample", type=int, default=20,
+        help="bypassed pairs to re-execute with --audit (default 20)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="audit sampling seed")
+    parser.add_argument(
+        "-O", dest="opt_level", choices=["0", "1", "2"], default="2",
+        help="opt level the audited builds used (default 2)",
+    )
+    parser.add_argument(
+        "--fingerprint-mode", choices=["canonical", "named"], default="canonical",
+        help="fingerprint mode the audited builds used (default canonical)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.drift import DriftConfig, detect_drift
+
+    (records, stats), path = _load_history(args)
+    failed = False
+    if not records:
+        print(f"regress: no history at {path}; nothing to analyze", file=sys.stderr)
+    else:
+        config = DriftConfig(
+            window=args.window,
+            bypass_drop=args.bypass_drop,
+            pass_wall_factor=args.wall_factor,
+        )
+        drift = detect_drift(records, config)
+        print(drift.describe())
+        failed = not drift.clean
+
+    if args.audit:
+        if not args.directory:
+            print("regress: --audit needs the project directory", file=sys.stderr)
+            return 2
+        root = Path(args.directory)
+        if not root.is_dir():
+            print(f"regress: no such directory: {args.directory}", file=sys.stderr)
+            return 2
+        db = BuildDatabase.load(args.db)
+        if db.live_state is None:
+            print(
+                "regress: no compiler state in the build DB "
+                "(audit needs a --stateful build first)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.buildsys.audit import audit_fingerprint_collisions
+
+        project = Project.read_from(root)
+        options = CompilerOptions(
+            opt_level=f"O{args.opt_level}",
+            stateful=True,
+            fingerprint_mode=args.fingerprint_mode,
+        )
+        try:
+            audit = audit_fingerprint_collisions(
+                project.provider(),
+                project.unit_paths,
+                options,
+                db.live_state,
+                sample=args.sample,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            print(f"regress: {exc}", file=sys.stderr)
+            return 2
+        print(audit.describe())
+        for mismatch in audit.mismatches:
+            print(
+                f"  MISMATCH [{mismatch['kind']}] {mismatch['unit']} "
+                f"{mismatch['function']} pass={mismatch['pass']}: "
+                f"{mismatch['detail']}"
+            )
+        failed = failed or not audit.ok
+
+    return 1 if failed else 0
+
+
+def reprobuild_dashboard_main(argv: list[str] | None = None) -> int:
+    """``reprobuild dashboard``: render the static build-health page."""
+    parser = argparse.ArgumentParser(
+        prog="reprobuild dashboard",
+        description="render the build history as a self-contained HTML page "
+                    "(inline CSS/SVG, no network access needed to view)",
+    )
+    _history_flags(parser)
+    parser.add_argument(
+        "-o", "--output", default="dashboard.html",
+        help="output HTML path (default dashboard.html)",
+    )
+    parser.add_argument(
+        "-n", "--last", type=int, default=0,
+        help="render at most the last N builds (default: all)",
+    )
+    parser.add_argument("--title", default="reprobuild health", help="page title")
+    args = parser.parse_args(argv)
+
+    from repro.obs.dashboard import render_dashboard
+    from repro.obs.drift import detect_drift
+
+    (records, stats), path = _load_history(args)
+    if not records:
+        print(f"dashboard: no builds recorded in {path}", file=sys.stderr)
+        return 1
+    if args.last > 0:
+        records = records[-args.last:]
+    html = render_dashboard(records, title=args.title, drift=detect_drift(records))
+    output = Path(args.output)
+    output.write_text(html)
+    print(
+        f"dashboard: {len(records)} build(s) -> {output} ({len(html)} bytes)",
+        file=sys.stderr,
+    )
     return 0
 
 

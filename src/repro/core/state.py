@@ -86,7 +86,16 @@ class CompilerState:
     fingerprint_mode: str = "canonical"
     build_counter: int = 0
     gc_max_age: int = 50
+    #: Lifetime garbage-collection accounting, persisted with the state
+    #: so cross-build analytics can tell "GC never ran" from "GC ran and
+    #: found nothing" (the drift detector's state-growth check needs
+    #: exactly that distinction).
+    gc_runs: int = 0
+    gc_reclaimed_total: int = 0
     records: dict[tuple[int, str], DormancyRecord] = field(default_factory=dict)
+    #: Records reclaimed by the most recent :meth:`collect_garbage` of
+    #: this process (not persisted; 0 until GC runs).
+    last_gc_reclaimed: int = field(default=0, init=False, repr=False, compare=False)
     #: Keys touched since :meth:`begin_delta_tracking`; ``None`` = not tracking.
     _touched: set[tuple[int, str]] | None = field(
         default=None, init=False, repr=False, compare=False
@@ -140,6 +149,9 @@ class CompilerState:
         stale = [k for k, r in self.records.items() if r.last_used_build < cutoff]
         for key in stale:
             del self.records[key]
+        self.gc_runs += 1
+        self.gc_reclaimed_total += len(stale)
+        self.last_gc_reclaimed = len(stale)
         if self._metrics is not None:
             self._metrics.inc("state.records_gced", len(stale))
         return len(stale)
@@ -147,6 +159,22 @@ class CompilerState:
     @property
     def num_records(self) -> int:
         return len(self.records)
+
+    def size_summary(self) -> dict:
+        """Size and GC counters for observability (history/dashboard).
+
+        ``bytes`` is the serialized size — the state's actual footprint
+        in the build database, which is what "monotone state growth"
+        analytics should watch rather than the record count alone.
+        """
+        return {
+            "records": self.num_records,
+            "bytes": len(self.to_json()),
+            "build_counter": self.build_counter,
+            "gc_runs": self.gc_runs,
+            "gc_reclaimed_total": self.gc_reclaimed_total,
+            "gc_reclaimed_last": self.last_gc_reclaimed,
+        }
 
     # -- parallel-build snapshot/delta protocol -----------------------------
 
@@ -236,6 +264,8 @@ class CompilerState:
             "fingerprint_mode": self.fingerprint_mode,
             "build_counter": self.build_counter,
             "gc_max_age": self.gc_max_age,
+            "gc_runs": self.gc_runs,
+            "gc_reclaimed": self.gc_reclaimed_total,
             "records": [
                 [pos, fp, int(r.dormant), r.fingerprint_out, r.last_used_build]
                 for (pos, fp), r in sorted(self.records.items())
@@ -255,6 +285,8 @@ class CompilerState:
             fingerprint_mode=payload["fingerprint_mode"],
             build_counter=payload["build_counter"],
             gc_max_age=payload.get("gc_max_age", 50),
+            gc_runs=payload.get("gc_runs", 0),
+            gc_reclaimed_total=payload.get("gc_reclaimed", 0),
         )
         for pos, fp, dormant, fp_out, last_used in payload["records"]:
             state.records[(pos, fp)] = DormancyRecord(bool(dormant), fp_out, last_used)

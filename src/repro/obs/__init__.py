@@ -1,21 +1,46 @@
 """``repro.obs`` — observability for the compiler and build system.
 
-Three pillars, each usable on its own:
+Pillars, each usable on its own:
 
 - :mod:`repro.obs.trace` — hierarchical build spans with a Chrome
   ``trace_event`` exporter (``reprobuild --trace-out``);
 - :mod:`repro.obs.metrics` — the build-wide registry of counters,
   gauges, and timing summaries every layer reports into;
 - :mod:`repro.obs.logging` — ``repro.*`` logger-namespace setup
-  (``REPRO_LOG`` / ``--verbose``).
+  (``REPRO_LOG`` / ``--verbose``);
+- :mod:`repro.obs.history` — the append-only cross-build history store
+  every ``reprobuild`` run persists its report into;
+- :mod:`repro.obs.drift` — dormancy-drift analytics over the history
+  (``reprobuild regress``);
+- :mod:`repro.obs.dashboard` — the self-contained static HTML
+  build-health page (``reprobuild dashboard``);
+- :mod:`repro.obs.profiling` — ``cProfile`` self-profiling of driver
+  phases and worker compiles (``reprobuild --profile``).
 
 The package sits *below* the build system in the layering: nothing
 here imports compiler or buildsys modules, so any layer can depend on
-it without cycles.
+it without cycles.  (The history store therefore holds build reports as
+their schema-versioned dict payloads, not as ``BuildReport`` objects.)
 """
 
+from repro.obs.dashboard import render_dashboard
+from repro.obs.drift import DriftConfig, DriftFinding, DriftReport, detect_drift
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    BuildHistory,
+    HistoryRecord,
+    LoadStats,
+    default_history_path,
+)
 from repro.obs.logging import LOG_ENV_VAR, get_logger, setup_logging
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timing
+from repro.obs.metrics import (
+    SOURCE_METRIC_PREFIX,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timing,
+)
+from repro.obs.profiling import NULL_PROFILER, BuildProfiler, NullBuildProfiler
 from repro.obs.trace import (
     DRIVER_TRACK,
     NULL_TRACER,
@@ -26,17 +51,31 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BuildHistory",
+    "BuildProfiler",
     "Counter",
     "DRIVER_TRACK",
+    "DriftConfig",
+    "DriftFinding",
+    "DriftReport",
     "Gauge",
+    "HISTORY_SCHEMA_VERSION",
+    "HistoryRecord",
     "LOG_ENV_VAR",
+    "LoadStats",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullBuildProfiler",
     "NullTracer",
+    "SOURCE_METRIC_PREFIX",
     "SpanRecord",
     "Timing",
     "Tracer",
     "chrome_trace_events",
+    "default_history_path",
+    "detect_drift",
     "get_logger",
+    "render_dashboard",
     "setup_logging",
 ]

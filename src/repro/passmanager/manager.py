@@ -154,6 +154,7 @@ class PassManager:
             self.metrics.inc("passes.work", stats.work)
             self.metrics.inc(f"pass.{function_pass.name}.executed")
             self.metrics.inc(f"pass.{function_pass.name}.work", stats.work)
+            self.metrics.observe(f"pass.{function_pass.name}.time", elapsed)
             if not stats.changed:
                 self.metrics.inc("passes.dormant")
                 self.metrics.inc(f"pass.{function_pass.name}.dormant")

@@ -7,7 +7,11 @@ import pytest
 from repro.buildsys.builddb import BuildDatabase
 from repro.buildsys.incremental import IncrementalBuilder
 from repro.buildsys.parallel import BuildOptions
-from repro.buildsys.report import REPORT_SCHEMA_VERSION, BuildReport
+from repro.buildsys.report import (
+    READABLE_REPORT_SCHEMAS,
+    REPORT_SCHEMA_VERSION,
+    BuildReport,
+)
 from repro.driver import CompilerOptions
 from repro.frontend.includes import MemoryFileProvider
 
@@ -67,6 +71,43 @@ class TestSchema:
         assert report.image is not None
         assert report.to_dict()["summary"]["linked"] is True
         assert BuildReport.from_json(report.to_json()).image is None
+
+
+class TestVersionSkew:
+    """The satellite: old payloads load, future payloads fail loudly."""
+
+    def test_current_schema_is_readable(self):
+        assert REPORT_SCHEMA_VERSION in READABLE_REPORT_SCHEMAS
+
+    def test_v1_payload_still_loads(self):
+        # A pre-history report: no state_bytes, no profile section.
+        payload = build(stateful=True).to_dict()
+        payload["schema"] = 1
+        payload["summary"].pop("state_bytes", None)
+        payload.pop("profile", None)
+        report = BuildReport.from_dict(payload)
+        assert report.state_bytes == 0
+        assert report.profile == {}
+
+    def test_v2_round_trips_new_fields(self):
+        report = build(stateful=True)
+        report.profile = {"schema": 1, "phases": {}, "hotspots": []}
+        clone = BuildReport.from_json(report.to_json())
+        assert clone.state_bytes == report.state_bytes > 0
+        assert clone.profile == report.profile
+
+    def test_future_schema_rejected_with_upgrade_hint(self):
+        payload = build().to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="v99.*newer than this reader"):
+            BuildReport.from_dict(payload)
+
+    def test_garbage_schema_rejected(self):
+        payload = build().to_dict()
+        for schema in (None, "2", -1):
+            payload["schema"] = schema
+            with pytest.raises(ValueError, match="unreadable"):
+                BuildReport.from_dict(payload)
 
 
 class TestSerialFields:

@@ -72,6 +72,57 @@ class TestMerge:
         assert a.count("x") == 1
 
 
+class TestSourceTags:
+    """Tagged merges keep per-worker attribution alongside the totals."""
+
+    def test_tagged_merge_duplicates_timings_under_source(self):
+        driver, worker = MetricsRegistry(), MetricsRegistry()
+        worker.observe("compile.frontend_time", 0.5)
+        driver.merge(worker, source="pid-3")
+        assert driver.timing("compile.frontend_time").total == pytest.approx(0.5)
+        tagged = driver.timing("source.pid-3.compile.frontend_time")
+        assert tagged.count == 1 and tagged.total == pytest.approx(0.5)
+
+    def test_counters_and_gauges_are_not_source_duplicated(self):
+        driver, worker = MetricsRegistry(), MetricsRegistry()
+        worker.inc("passes.executed", 3)
+        worker.set_gauge("g", 7)
+        driver.merge(worker, source="pid-3")
+        assert driver.count("passes.executed") == 3
+        assert all(not n.startswith("source.") for n in driver.counters)
+        assert all(not n.startswith("source.") for n in driver.gauges)
+
+    def test_untagged_merge_adds_no_source_timings(self):
+        driver, worker = MetricsRegistry(), MetricsRegistry()
+        worker.observe("t", 1.0)
+        driver.merge(worker)
+        assert all(not n.startswith("source.") for n in driver.timings)
+
+    def test_sources_strips_prefix_and_groups_by_tag(self):
+        driver = MetricsRegistry()
+        for tag, value in (("pid-1", 0.25), ("pid-2", 0.75)):
+            worker = MetricsRegistry()
+            worker.observe("compile.passes_time", value)
+            driver.merge(worker, source=tag)
+        breakdown = driver.sources()
+        assert set(breakdown) == {"pid-1", "pid-2"}
+        assert breakdown["pid-2"]["compile.passes_time"].total == pytest.approx(0.75)
+
+    def test_sources_empty_without_tagged_merges(self):
+        metrics = MetricsRegistry()
+        metrics.observe("t", 1.0)
+        assert metrics.sources() == {}
+
+    def test_repeated_merges_from_one_source_accumulate(self):
+        driver = MetricsRegistry()
+        for value in (0.1, 0.3):
+            worker = MetricsRegistry()
+            worker.observe("t", value)
+            driver.merge(worker, source="driver")
+        tagged = driver.sources()["driver"]["t"]
+        assert tagged.count == 2 and tagged.total == pytest.approx(0.4)
+
+
 class TestSerialization:
     def test_round_trip(self):
         metrics = MetricsRegistry()

@@ -1,0 +1,131 @@
+"""BuildProfiler / NULL_PROFILER behavior and pstats output format."""
+
+import pstats
+
+from repro.obs.profiling import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA_VERSION,
+    BuildProfiler,
+    NullBuildProfiler,
+    merge_stats_tables,
+    profile_stats_table,
+)
+
+
+def busy_work(n: int = 200) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestNullProfiler:
+    def test_disabled_and_inert(self, tmp_path):
+        assert NULL_PROFILER.enabled is False
+        with NULL_PROFILER.phase("compile"):
+            busy_work()
+        NULL_PROFILER.absorb("compile", {("f", 1, "g"): (1, 1, 0.1, 0.1)})
+        assert NULL_PROFILER.write_pstats(tmp_path) == []
+        assert NULL_PROFILER.hotspots() == []
+        assert NULL_PROFILER.to_payload() == {}
+        assert list(tmp_path.iterdir()) == []
+
+    def test_real_profiler_substitutes_for_null(self):
+        # The driver types its parameter as NullBuildProfiler; the real
+        # one must remain a drop-in subclass.
+        assert issubclass(BuildProfiler, NullBuildProfiler)
+        assert BuildProfiler().enabled is True
+
+
+class TestPhaseCollection:
+    def test_phase_records_functions(self):
+        profiler = BuildProfiler()
+        with profiler.phase("compile"):
+            busy_work()
+        assert "compile" in profiler.phases
+        table = profiler.phases["compile"]
+        assert table
+        for key, row in table.items():
+            assert len(key) == 3 and len(row) == 4
+
+    def test_phase_collects_even_when_body_raises(self):
+        profiler = BuildProfiler()
+        try:
+            with profiler.phase("link"):
+                busy_work()
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert profiler.phases["link"]
+
+    def test_absorb_merges_worker_tables(self):
+        profiler = BuildProfiler()
+        key = ("worker.py", 10, "compile_unit")
+        profiler.absorb("compile-workers", {key: (2, 3, 0.5, 0.7)})
+        profiler.absorb("compile-workers", {key: (1, 1, 0.25, 0.3)})
+        assert profiler.phases["compile-workers"][key] == (3, 4, 0.75, 1.0)
+
+    def test_absorb_ignores_empty(self):
+        profiler = BuildProfiler()
+        profiler.absorb("compile-workers", None)
+        profiler.absorb("compile-workers", {})
+        assert profiler.phases == {}
+
+
+class TestMergeStatsTables:
+    def test_sums_all_four_columns(self):
+        import pytest
+
+        into = {("a", 1, "f"): (1, 2, 0.1, 0.2)}
+        merge_stats_tables(into, {("a", 1, "f"): (3, 4, 0.3, 0.4), ("b", 2, "g"): (1, 1, 1.0, 1.0)})
+        assert into[("a", 1, "f")] == pytest.approx((4, 6, 0.4, 0.6))
+        assert into[("b", 2, "g")] == (1, 1, 1.0, 1.0)
+
+
+class TestOutputs:
+    def make_profiler(self) -> BuildProfiler:
+        profiler = BuildProfiler()
+        with profiler.phase("compile"):
+            busy_work(500)
+        with profiler.phase("link"):
+            busy_work(50)
+        return profiler
+
+    def test_write_pstats_loadable_by_stdlib(self, tmp_path):
+        paths = self.make_profiler().write_pstats(tmp_path)
+        assert sorted(p.name for p in paths) == ["compile.pstats", "link.pstats"]
+        for path in paths:
+            stats = pstats.Stats(str(path))
+            assert stats.total_calls > 0
+
+    def test_pstats_filenames_are_sanitized(self, tmp_path):
+        profiler = BuildProfiler()
+        with profiler.phase("state/gc pass"):
+            busy_work()
+        (path,) = profiler.write_pstats(tmp_path)
+        assert path.name == "state_gc_pass.pstats"
+
+    def test_hotspots_ranked_by_own_time(self):
+        profiler = self.make_profiler()
+        spots = profiler.hotspots(top=5)
+        assert 0 < len(spots) <= 5
+        times = [s["tottime"] for s in spots]
+        assert times == sorted(times, reverse=True)
+        assert all({"function", "calls", "tottime", "cumtime"} <= set(s) for s in spots)
+
+    def test_payload_shape(self):
+        payload = self.make_profiler().to_payload(top=3)
+        assert payload["schema"] == PROFILE_SCHEMA_VERSION
+        assert set(payload["phases"]) == {"compile", "link"}
+        for entry in payload["phases"].values():
+            assert entry["functions"] > 0
+            assert entry["calls"] > 0
+            assert entry["tottime"] >= 0.0
+        assert len(payload["hotspots"]) <= 3
+
+    def test_profile_stats_table_strips_callers(self):
+        import cProfile
+
+        profile = cProfile.Profile()
+        profile.enable()
+        busy_work()
+        profile.disable()
+        table = profile_stats_table(profile)
+        assert all(len(row) == 4 for row in table.values())

@@ -17,6 +17,7 @@ SUBMODULES = [
     "repro.backend",
     "repro.bench",
     "repro.buildsys",
+    "repro.buildsys.audit",
     "repro.buildsys.builddb",
     "repro.buildsys.deps",
     "repro.buildsys.explain",
@@ -30,8 +31,12 @@ SUBMODULES = [
     "repro.ir",
     "repro.lowering",
     "repro.obs",
+    "repro.obs.dashboard",
+    "repro.obs.drift",
+    "repro.obs.history",
     "repro.obs.logging",
     "repro.obs.metrics",
+    "repro.obs.profiling",
     "repro.obs.trace",
     "repro.passes",
     "repro.passmanager",
