@@ -49,6 +49,28 @@ class LinkedImage:
     def num_instructions(self) -> int:
         return len(self.code)
 
+    def to_json(self) -> str:
+        """Deterministic serialization of the whole executable.
+
+        Two images are behaviourally identical iff their ``to_json``
+        outputs are byte-identical, which is what the differential
+        correctness harness (:mod:`repro.testing.differential`)
+        compares across compiler variants and job counts.
+        """
+        import json
+
+        payload = {
+            "format": "repro-image-v1",
+            "code": [[i.op.value, i.regs, i.imm, i.extra] for i in self.code],
+            "functions": [
+                [f.name, f.entry, f.num_params, f.frame_size]
+                for f in sorted(self.functions.values(), key=lambda f: f.name)
+            ],
+            "globals": sorted(self.global_base.items()),
+            "data": self.data,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
 
 def link(objects: list[ObjectFile], *, entry: str = "main") -> LinkedImage:
     """Link objects into an image; requires ``entry`` to be defined."""

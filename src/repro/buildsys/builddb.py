@@ -14,27 +14,51 @@ the record exactly; anything else — edited source, edited header, a
 header added/removed from the closure, a previously missing header
 appearing — forces a recompile.
 
-Like the compiler state, the DB is disposable: a missing, corrupt, or
+Like the compiler state, the DB is disposable: a missing or
 schema-incompatible file loads as an empty database and the next build
-is simply a clean build.  Cache loss is a performance event, never a
-correctness one.
+is simply a clean build.  A *corrupt* file (zero bytes, torn JSON, a
+failed checksum) raises the typed :class:`CorruptDatabaseError` so the
+caller can log what happened before falling back to the same full
+rebuild — cache loss is a performance event, never a correctness one,
+but silent cache loss is a diagnosis event someone deserves to see.
+
+Writes go through :func:`repro.persist.atomic_write`: checksummed
+frame, temp file + fsync + rename, bounded retry on transient errors.
+A ``reprobuild`` killed at any instant leaves either the previous DB or
+the new one, never a torn hybrid.
 """
 
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.buildsys.deps import DependencySnapshot
 from repro.core.state import CompilerState
+from repro.persist import CorruptArtifactError, PersistError, atomic_write, read_artifact
 
 #: v2 added per-unit observability (pass statistics, wall time, worker)
 #: so ``reprobuild explain`` can report where a unit's compile time
 #: went; v1 files still load, with those fields empty.
 DB_SCHEMA_VERSION = 2
 _READABLE_SCHEMAS = (1, 2)
+
+
+class CorruptDatabaseError(PersistError):
+    """The build DB file exists but its contents are unusable.
+
+    Distinct from a *schema-incompatible* DB (a valid file written by a
+    different version — silently treated as empty): corruption means
+    the bytes themselves are damaged (zero-byte file, torn write,
+    checksum mismatch).  The CLI catches this, reports it, and rebuilds
+    from scratch; it must never escape as a traceback.
+    """
+
+    def __init__(self, path: str | Path, reason: str):
+        super().__init__(f"corrupt build database {path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
 
 
 @dataclass
@@ -138,6 +162,10 @@ class BuildDatabase:
             raise ValueError(
                 f"build DB schema {payload.get('schema')} not in {_READABLE_SCHEMAS}"
             )
+        return cls._from_payload(payload)
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "BuildDatabase":
         db = cls()
         for entry in payload["units"]:
             db.units[entry["path"]] = UnitRecord(
@@ -161,22 +189,62 @@ class BuildDatabase:
 
     # -- file I/O -----------------------------------------------------------
 
-    def save(self, path: str | Path) -> int:
-        """Write atomically; returns the serialized size in bytes."""
-        path = Path(path)
-        data = self.to_json().encode("utf-8")
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
-        return len(data)
+    def save(self, path: str | Path, *, durable: bool = True) -> int:
+        """Write crash-consistently; returns the on-disk size in bytes.
+
+        Checksummed frame + temp file + fsync + atomic rename, with
+        bounded retry on transient filesystem errors — see
+        :func:`repro.persist.atomic_write`.  ``durable=False`` skips
+        the fsyncs (benchmarks measuring the protocol's cost use it).
+        """
+        return atomic_write(Path(path), self.to_json().encode("utf-8"), durable=durable)
 
     @classmethod
     def load(cls, path: str | Path) -> "BuildDatabase":
-        """Load a DB, returning an empty one on any incompatibility."""
+        """Load a DB; missing or version-skewed files load empty.
+
+        Raises :class:`CorruptDatabaseError` when the file exists but
+        its bytes are damaged (zero-byte, torn JSON, failed checksum) —
+        callers that just want the disposable-cache behaviour use
+        :meth:`load_or_empty`.
+        """
         path = Path(path)
         if not path.is_file():
             return cls()
         try:
-            return cls.from_json(path.read_text())
-        except (ValueError, KeyError, TypeError, json.JSONDecodeError, OSError):
+            blob = read_artifact(path)
+        except CorruptArtifactError as exc:
+            raise CorruptDatabaseError(path, exc.reason) from exc
+        except OSError as exc:
+            raise CorruptDatabaseError(path, f"unreadable: {exc}") from exc
+        if not blob.strip():
+            raise CorruptDatabaseError(path, "file is empty")
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise CorruptDatabaseError(path, f"not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CorruptDatabaseError(path, "top-level JSON is not an object")
+        if payload.get("schema") not in _READABLE_SCHEMAS:
+            # A valid file from an incompatible version is the normal
+            # disposable-cache case, not corruption: clean rebuild.
             return cls()
+        try:
+            return cls._from_payload(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CorruptDatabaseError(path, f"malformed payload: {exc}") from exc
+
+    @classmethod
+    def load_or_empty(
+        cls, path: str | Path
+    ) -> tuple["BuildDatabase", "CorruptDatabaseError | None"]:
+        """Like :meth:`load`, but corruption yields ``(empty DB, error)``.
+
+        The returned error (or ``None``) lets callers log the recovery
+        without string-matching; the build itself proceeds as a clean
+        full rebuild either way.
+        """
+        try:
+            return cls.load(path), None
+        except CorruptDatabaseError as exc:
+            return cls(), exc

@@ -228,10 +228,16 @@ class BuildReport:
         return cls.from_dict(json.loads(text))
 
     def write_json(self, path: str | Path) -> int:
-        """Write the JSON report; returns bytes written."""
+        """Write the JSON report atomically; returns bytes written.
+
+        No checksum frame — external tools (``jq``, dashboards) read
+        the file verbatim — but the temp+rename protocol still means a
+        killed build never leaves a half-written report behind.
+        """
+        from repro.persist import atomic_write
+
         data = self.to_json(indent=2).encode("utf-8")
-        Path(path).write_bytes(data)
-        return len(data)
+        return atomic_write(Path(path), data, checksum=False)
 
     def describe(self) -> str:
         """One-line human summary (the ``reprobuild`` status format).

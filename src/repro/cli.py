@@ -28,6 +28,14 @@ store beside the DB (``<db>.history.jsonl``; disable with
 ``--no-history``), which is what ``history``/``regress``/``dashboard``
 read.  ``--profile`` runs the build under ``cProfile`` (driver phases
 and workers merged) and writes per-phase ``.pstats`` files.
+
+Crash safety & concurrency: builds take an advisory ``flock`` on
+``<db>.lock`` so concurrent invocations on one directory serialize
+(``--lock-timeout``/``--no-lock`` tune this; a timed-out wait exits 3
+with a "directory is locked" diagnostic), every artifact is written
+with the checksummed atomic protocol in :mod:`repro.persist`, and a
+corrupt build DB is reported and rebuilt from scratch — never a
+traceback.
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ from repro.obs.history import BuildHistory, HistoryRecord, default_history_path
 from repro.obs.logging import setup_logging
 from repro.obs.profiling import NULL_PROFILER, BuildProfiler
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.persist import BuildLock, LockTimeoutError, NullLock, default_lock_path
 from repro.ir.printer import print_module
 from repro.vm.machine import VirtualMachine
 from repro.workload.project import Project
@@ -148,7 +157,12 @@ def reproc_main(argv: list[str] | None = None) -> int:
 
     if options.stateful and args.state_file and compiler.state is not None:
         compiler.state.collect_garbage()
-        compiler.state.save(args.state_file)
+        try:
+            compiler.state.save(args.state_file)
+        except OSError as exc:
+            # The state is a cache: losing it costs bypasses on the next
+            # run, not correctness — never fail the compile over it.
+            print(f"reproc: failed to save state file: {exc}", file=sys.stderr)
     if args.inspect_state and compiler.state is not None:
         from repro.core.inspect import describe_state
 
@@ -279,6 +293,29 @@ def reprobench_parallel_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _save_db_or_warn(db: BuildDatabase, path: str) -> bool:
+    """Persist the DB, degrading to a warning when the disk says no.
+
+    Used on error paths where the build's exit status already reports
+    the real problem — a failed cache save must not mask it (and must
+    never traceback).
+    """
+    try:
+        db.save(path)
+        return True
+    except OSError as exc:
+        print(f"reprobuild: failed to save build database {path}: {exc}", file=sys.stderr)
+        return False
+
+
+def _load_db_or_warn(path: str, tool: str) -> BuildDatabase:
+    """Read-only DB load for inspection tools; corruption warns, not dies."""
+    db, corruption = BuildDatabase.load_or_empty(path)
+    if corruption is not None:
+        print(f"{tool}: {corruption}; treating as empty", file=sys.stderr)
+    return db
+
+
 def reprobuild_main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "explain":
@@ -333,6 +370,15 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
         "--no-history", action="store_true",
         help="do not append this build to the history store",
     )
+    parser.add_argument(
+        "--lock-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="how long to wait for another build on this directory to "
+             "finish before giving up (default 10; 0 = fail immediately)",
+    )
+    parser.add_argument(
+        "--no-lock", action="store_true",
+        help="skip the inter-process build lock (concurrent builds may race)",
+    )
     args = parser.parse_args(argv)
     setup_logging(args.verbose)
 
@@ -345,7 +391,37 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
         print("reprobuild: no .mc files found", file=sys.stderr)
         return 2
 
-    db = BuildDatabase.load(args.db)
+    # Serialize whole builds per directory: two concurrent reprobuild
+    # invocations on one DB would interleave read-modify-write cycles.
+    lock = (
+        NullLock()
+        if args.no_lock
+        else BuildLock(default_lock_path(args.db), timeout=args.lock_timeout)
+    )
+    try:
+        lock.acquire()
+    except LockTimeoutError as exc:
+        print(f"reprobuild: build directory is locked: {exc}", file=sys.stderr)
+        print(
+            "reprobuild: another build owns this directory; rerun later, "
+            "raise --lock-timeout, or pass --no-lock to override",
+            file=sys.stderr,
+        )
+        return 3
+    try:
+        return _locked_build(args, project)
+    finally:
+        lock.release()
+
+
+def _locked_build(args: argparse.Namespace, project: Project) -> int:
+    """The body of ``reprobuild`` once the directory lock is held."""
+    db, corruption = BuildDatabase.load_or_empty(args.db)
+    if corruption is not None:
+        print(
+            f"reprobuild: {corruption}; falling back to a full rebuild",
+            file=sys.stderr,
+        )
     options = _options_from_args(args)
     build_options = BuildOptions(jobs=args.jobs, executor=args.executor)
     tracer = _make_tracer(args)
@@ -360,11 +436,18 @@ def reprobuild_main(argv: list[str] | None = None) -> int:
     except CompileError as exc:
         # Units that compiled before the failure are already recorded;
         # persisting them keeps the post-fix rebuild incremental.
-        db.save(args.db)
+        _save_db_or_warn(db, args.db)
         for diag in exc.diagnostics:
             print(diag.render(), file=sys.stderr)
         return 1
-    db_bytes = db.save(args.db)
+    try:
+        db_bytes = db.save(args.db)
+    except OSError as exc:
+        print(
+            f"reprobuild: failed to save build database {args.db}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
 
     if args.trace_out:
         tracer.write(args.trace_out)
@@ -468,7 +551,7 @@ def reprobuild_explain_main(argv: list[str] | None = None) -> int:
     from repro.buildsys.deps import DependencyScanner
     from repro.buildsys.explain import explain_unit
 
-    db = BuildDatabase.load(args.db)
+    db = _load_db_or_warn(args.db, "reprobuild explain")
     scanner = DependencyScanner(project.provider())
     for path in units:
         print(explain_unit(db, scanner.snapshot(path), top=args.top))
@@ -619,7 +702,7 @@ def reprobuild_regress_main(argv: list[str] | None = None) -> int:
         if not root.is_dir():
             print(f"regress: no such directory: {args.directory}", file=sys.stderr)
             return 2
-        db = BuildDatabase.load(args.db)
+        db = _load_db_or_warn(args.db, "regress")
         if db.live_state is None:
             print(
                 "regress: no compiler state in the build DB "

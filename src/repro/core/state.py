@@ -36,12 +36,12 @@ same units would have produced.
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry
+from repro.persist import CorruptArtifactError, atomic_write, read_artifact
 
 STATE_SCHEMA_VERSION = 3
 
@@ -294,14 +294,14 @@ class CompilerState:
 
     # -- file I/O ----------------------------------------------------------------------
 
-    def save(self, path: str | Path) -> int:
-        """Write atomically; returns the serialized size in bytes."""
-        path = Path(path)
-        data = self.to_json().encode("utf-8")
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
-        return len(data)
+    def save(self, path: str | Path, *, durable: bool = True) -> int:
+        """Write crash-consistently; returns the on-disk size in bytes.
+
+        Same checksummed atomic-replace protocol as the build DB
+        (:func:`repro.persist.atomic_write`): a crash mid-save leaves
+        the previous state file intact, never a torn one.
+        """
+        return atomic_write(Path(path), self.to_json().encode("utf-8"), durable=durable)
 
     @classmethod
     def load(
@@ -313,9 +313,11 @@ class CompilerState:
     ) -> "CompilerState":
         """Load state, returning a fresh one on any incompatibility.
 
-        A missing file, unreadable JSON, schema mismatch, or pipeline /
-        fingerprint-mode mismatch all yield an empty state — stale state
-        must never be applied.
+        A missing file, unreadable/corrupt bytes (including a failed
+        artifact checksum), schema mismatch, or pipeline /
+        fingerprint-mode mismatch all yield an empty state — stale or
+        damaged state must never be applied, and losing it only costs
+        one build's worth of bypasses.
         """
         path = Path(path)
         fresh = cls(
@@ -324,8 +326,11 @@ class CompilerState:
         if not path.is_file():
             return fresh
         try:
-            state = cls.from_json(path.read_text())
-        except (ValueError, KeyError, json.JSONDecodeError, OSError):
+            state = cls.from_json(read_artifact(path).decode("utf-8"))
+        except (
+            ValueError, KeyError, json.JSONDecodeError, OSError,
+            UnicodeDecodeError, CorruptArtifactError,
+        ):
             return fresh
         if not state.compatible_with(pipeline_signature, fingerprint_mode):
             return fresh

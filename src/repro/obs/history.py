@@ -32,6 +32,9 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.persist import atomic_write
+from repro.persist import io as io_seam
+
 HISTORY_SCHEMA_VERSION = 1
 
 #: Per-pass counter keys extracted into :attr:`HistoryRecord.passes`.
@@ -214,14 +217,15 @@ class BuildHistory:
         """
         line = json.dumps(record.to_dict(), separators=(",", ":"), sort_keys=True)
         data = line.encode("utf-8") + b"\n"
-        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        backend = io_seam.backend()
+        fd = backend.open(str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
             offset = os.fstat(fd).st_size
             view = memoryview(data)
             while view:
-                view = view[os.write(fd, view):]
+                view = view[backend.write(fd, view):]
         finally:
-            os.close(fd)
+            backend.close(fd)
         self._refresh_index(record, offset, len(data))
         return offset
 
@@ -321,14 +325,22 @@ class BuildHistory:
             return []
 
     def _refresh_index(self, record: HistoryRecord, offset: int, length: int) -> None:
-        """Best-effort index update after an append (atomic rewrite)."""
+        """Best-effort index update after an append (atomic rewrite).
+
+        Written atomically but *not* durably (no fsync, no checksum):
+        the index is a pure cache, and a torn or lost index only costs
+        a rescan of the JSONL it describes.
+        """
         entries = self._stale_tolerant_entries(upto=offset)
         entries.append([record.seq, offset, length, record.timestamp])
         payload = {"schema": HISTORY_SCHEMA_VERSION, "entries": entries}
-        tmp = self.index_path.with_suffix(self.index_path.suffix + ".tmp")
         try:
-            tmp.write_text(json.dumps(payload, separators=(",", ":")))
-            os.replace(tmp, self.index_path)
+            atomic_write(
+                self.index_path,
+                json.dumps(payload, separators=(",", ":")).encode("utf-8"),
+                checksum=False,
+                durable=False,
+            )
         except OSError:
             pass  # the index is a cache; the JSONL is intact regardless
 

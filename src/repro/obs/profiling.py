@@ -129,14 +129,16 @@ class BuildProfiler(NullBuildProfiler):
         expects; callers tables were stripped at collection, which
         pstats tolerates (caller/callee views are simply empty).
         """
+        from repro.persist import atomic_write
+
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         written = []
         for name, table in sorted(self.phases.items()):
             safe = re.sub(r"[^A-Za-z0-9._-]", "_", name)
             path = directory / f"{safe}.pstats"
-            with open(path, "wb") as handle:
-                marshal.dump({key: (*row, {}) for key, row in table.items()}, handle)
+            data = marshal.dumps({key: (*row, {}) for key, row in table.items()})
+            atomic_write(path, data, checksum=False)
             written.append(path)
         return written
 

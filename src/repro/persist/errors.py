@@ -1,0 +1,42 @@
+"""Typed failures of the persistence layer.
+
+Every error a caller can *recover* from gets its own class so the
+recovery policy lives at the call site, not in string matching:
+
+- :class:`CorruptArtifactError` — an on-disk artifact failed its
+  checksum or could not be parsed at all.  For disposable artifacts
+  (build DB, compiler state) the correct recovery is a full rebuild,
+  never a traceback.
+- :class:`LockTimeoutError` — another process holds the build
+  directory's advisory lock and the caller's patience ran out.
+"""
+
+from __future__ import annotations
+
+
+class PersistError(Exception):
+    """Base class of every persistence-layer failure."""
+
+
+class CorruptArtifactError(PersistError):
+    """An artifact's bytes do not match what was written.
+
+    Raised on checksum mismatch, a torn/truncated framed payload, or a
+    malformed frame header.  Carries the offending path and a short
+    reason so callers can log a useful diagnostic before recovering.
+    """
+
+    def __init__(self, path: str, reason: str):
+        super().__init__(f"{path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+class LockTimeoutError(PersistError):
+    """Could not acquire the build-directory lock within the timeout."""
+
+    def __init__(self, path: str, timeout: float, holder: str = ""):
+        detail = f"{path} is locked{holder} (waited {timeout:g}s)"
+        super().__init__(detail)
+        self.path = str(path)
+        self.timeout = timeout

@@ -1,0 +1,154 @@
+"""Inter-process serialization of builds on one directory.
+
+Two ``reprobuild`` invocations racing on the same build database can
+interleave their read-modify-write cycles and silently lose half of
+each other's work — or worse, merge incompatible compiler states.  The
+:class:`BuildLock` prevents that with the classic advisory ``flock``
+protocol on a sidecar ``<db>.lock`` file:
+
+- the lock holder's PID is written into the file purely as a
+  diagnostic, so a blocked process can say *who* holds the lock (and
+  whether that PID is even alive);
+- because the kernel drops ``flock`` locks automatically when the
+  holder dies, a stale lock file left by a killed build never blocks
+  anyone — the next acquire simply succeeds, which the tests pin down;
+- acquisition polls with a short sleep up to ``timeout`` seconds, then
+  raises :class:`~repro.persist.errors.LockTimeoutError` with a clear
+  "directory is locked" message the CLI surfaces verbatim.
+
+``flock`` needs ``fcntl`` (POSIX); where that is unavailable the lock
+degrades to a no-op rather than breaking the build entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.persist import io
+from repro.persist.errors import LockTimeoutError
+
+try:  # pragma: no cover - import guard for non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+
+def default_lock_path(db_path: str | Path) -> Path:
+    """The lock file that guards a build database's directory."""
+    return Path(f"{db_path}.lock")
+
+
+class BuildLock:
+    """Advisory exclusive lock on one build directory (context manager)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        timeout: float | None = 10.0,
+        poll_interval: float = 0.05,
+    ):
+        #: ``timeout=None`` blocks indefinitely; ``0`` fails immediately
+        #: when contended.
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self._fd: int | None = None
+
+    @property
+    def locked(self) -> bool:
+        return self._fd is not None
+
+    # -- acquire/release -----------------------------------------------------
+
+    def acquire(self) -> "BuildLock":
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return self
+        if self._fd is not None:
+            return self
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        deadline = (
+            None if self.timeout is None else time.monotonic() + max(0.0, self.timeout)
+        )
+        try:
+            while True:
+                try:
+                    flags = fcntl.LOCK_EX | (0 if deadline is None else fcntl.LOCK_NB)
+                    fcntl.flock(fd, flags)
+                    break
+                except OSError:
+                    if deadline is None:  # pragma: no cover - blocking mode
+                        raise
+                    if time.monotonic() >= deadline:
+                        raise LockTimeoutError(
+                            str(self.path), self.timeout or 0.0, self.holder_description()
+                        ) from None
+                    io.backend().sleep(self.poll_interval)
+        except LockTimeoutError:
+            os.close(fd)
+            raise
+        # Locked: record who we are for other processes' diagnostics.
+        os.ftruncate(fd, 0)
+        os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        self._fd = fd
+        return self
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+        # The lock file itself stays behind — unlinking it would race
+        # with a waiter that already opened it (the classic flock-file
+        # deletion hazard).
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def holder_pid(self) -> int | None:
+        """PID recorded in the lock file, if readable."""
+        try:
+            return int(self.path.read_text().strip() or 0) or None
+        except (OSError, ValueError):
+            return None
+
+    def holder_description(self) -> str:
+        pid = self.holder_pid()
+        if pid is None:
+            return ""
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return f" (stale lock file from dead pid {pid})"
+        except OSError:
+            pass
+        return f" (held by pid {pid})"
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "BuildLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class NullLock:
+    """The ``--no-lock`` stand-in: same shape, no serialization."""
+
+    locked = False
+
+    def acquire(self) -> "NullLock":
+        return self
+
+    def release(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullLock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None

@@ -1,0 +1,50 @@
+"""Reusable correctness harnesses: fault injection and differential fuzzing.
+
+Grown alongside the crash-consistency layer (:mod:`repro.persist`) and
+reused by every robustness story since:
+
+- :mod:`repro.testing.faults` — deterministic fault injection at the
+  persistence IO seam (seeded :class:`FaultPlan`, kill/torn/errno
+  faults, crash-schedule enumeration via :func:`count_io_ops`);
+- :mod:`repro.testing.differential` — the differential fuzzer proving
+  stateful incremental builds (serial and ``-j N``) bit-identical to
+  stateless clean builds over random edit traces.
+"""
+
+from repro.testing.differential import (
+    DifferentialResult,
+    Divergence,
+    run_differential_trace,
+)
+from repro.testing.faults import (
+    ERRNO,
+    KILL,
+    KILL_AFTER,
+    KINDS,
+    OPS,
+    TORN,
+    FaultBackend,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    count_io_ops,
+    inject_faults,
+)
+
+__all__ = [
+    "DifferentialResult",
+    "Divergence",
+    "run_differential_trace",
+    "ERRNO",
+    "KILL",
+    "KILL_AFTER",
+    "KINDS",
+    "OPS",
+    "TORN",
+    "FaultBackend",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "count_io_ops",
+    "inject_faults",
+]

@@ -1,0 +1,276 @@
+"""Deterministic fault injection for the persistence layer.
+
+Crash consistency is untestable by waiting for real crashes; instead
+this module drives the IO seam (:mod:`repro.persist.io`) with a
+:class:`FaultPlan` that makes *chosen* operations fail in *chosen*
+ways, reproducibly:
+
+- ``kill`` — raise :class:`InjectedCrash` *before* the Nth matching
+  call, simulating ``kill -9`` at that instant (everything already on
+  disk stays; nothing else happens);
+- ``kill-after`` — same, but after the call took effect (crash between
+  two operations);
+- ``torn`` — perform *half* of a write (or replace the rename target
+  with a truncated copy), then crash: the torn-file case a non-atomic
+  filesystem can produce;
+- ``errno`` — fail the call with a real ``OSError`` (``EIO``,
+  ``ENOSPC``, …) for ``count`` consecutive matching calls, which is
+  how the bounded-retry logic is exercised.
+
+The crash-matrix tests first run a scenario under a fault-free
+counting backend (:func:`count_io_ops`) to enumerate every IO
+operation it performs, then replay it once per operation with a kill
+injected there — full coverage of the crash schedule without guessing
+magic indices.
+
+:class:`InjectedCrash` subclasses ``BaseException`` deliberately: a
+real SIGKILL is not catchable, so code under test that says ``except
+Exception`` must not be able to swallow the simulated one either.
+"""
+
+from __future__ import annotations
+
+import errno as errno_module
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.persist import io
+
+#: Operations a plan can target (``None`` in a spec matches any of them).
+OPS = io.MUTATING_OPS
+
+KILL = "kill"
+KILL_AFTER = "kill-after"
+TORN = "torn"
+ERRNO = "errno"
+KINDS = (KILL, KILL_AFTER, TORN, ERRNO)
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at one IO operation.
+
+    ``BaseException`` so ordinary ``except Exception`` cleanup in the
+    code under test cannot swallow it — a real ``kill -9`` would not
+    run those handlers either.
+    """
+
+    def __init__(self, op: str, target: str, index: int):
+        super().__init__(f"injected crash at {op}#{index} on {target}")
+        self.op = op
+        self.target = target
+        self.index = index
+
+
+@dataclass
+class FaultSpec:
+    """One planned fault: fail the Nth call matching ``op`` as ``kind``."""
+
+    kind: str
+    #: Operation name from :data:`OPS`, or ``None`` for "any mutating op".
+    op: str | None = None
+    #: Zero-based position among the *matching* calls.
+    index: int = 0
+    #: ``errno`` faults: which error.
+    errno_code: int = errno_module.EIO
+    #: ``errno`` faults: how many consecutive matching calls fail.
+    count: int = 1
+    #: Calls matching this spec seen so far (internal trigger state).
+    seen: int = field(default=0, init=False, repr=False)
+    #: How many times this spec actually fired.
+    fired: int = field(default=0, init=False, repr=False)
+
+    def matches(self, op: str) -> bool:
+        return self.op is None or self.op == op
+
+    def should_fire(self) -> bool:
+        """Advance this spec's counter for one matching call."""
+        position, self.seen = self.seen, self.seen + 1
+        span = self.count if self.kind == ERRNO else 1
+        firing = self.index <= position < self.index + span
+        if firing:
+            self.fired += 1
+        return firing
+
+
+class FaultPlan:
+    """A reproducible set of faults to inject into one scenario."""
+
+    def __init__(self, specs: list[FaultSpec] | None = None):
+        self.specs = list(specs or [])
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def kill_at(cls, index: int, op: str | None = None) -> "FaultPlan":
+        return cls([FaultSpec(KILL, op, index)])
+
+    @classmethod
+    def kill_after(cls, index: int, op: str | None = None) -> "FaultPlan":
+        return cls([FaultSpec(KILL_AFTER, op, index)])
+
+    @classmethod
+    def torn_at(cls, index: int, op: str | None = None) -> "FaultPlan":
+        return cls([FaultSpec(TORN, op, index)])
+
+    @classmethod
+    def errno_at(
+        cls,
+        index: int,
+        *,
+        code: int = errno_module.EIO,
+        op: str | None = None,
+        count: int = 1,
+    ) -> "FaultPlan":
+        return cls([FaultSpec(ERRNO, op, index, errno_code=code, count=count)])
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        max_index: int = 8,
+        kinds: tuple[str, ...] = KINDS,
+    ) -> "FaultPlan":
+        """One random-but-reproducible fault drawn from ``seed``."""
+        rng = random.Random(seed)
+        kind = rng.choice(kinds)
+        op = rng.choice((None, "write", "fsync", "replace", "open", "close"))
+        spec = FaultSpec(kind, op, rng.randrange(max_index))
+        if kind == ERRNO:
+            spec.errno_code = rng.choice(
+                (errno_module.EIO, errno_module.ENOSPC, errno_module.EAGAIN)
+            )
+            spec.count = rng.randrange(1, 4)
+        return cls([spec])
+
+    @property
+    def fired(self) -> int:
+        return sum(spec.fired for spec in self.specs)
+
+    def consult(self, op: str) -> FaultSpec | None:
+        """The spec that fires on this call, advancing trigger state."""
+        hit = None
+        for spec in self.specs:
+            if spec.matches(op) and spec.should_fire() and hit is None:
+                hit = spec
+        return hit
+
+
+class FaultBackend(io.IOBackend):
+    """IO backend that executes a :class:`FaultPlan` while counting.
+
+    Wraps the real passthrough backend; every mutating call is logged
+    (op name + target) so tests can both enumerate fault points and
+    assert what a scenario touched.  ``sleep`` becomes a no-op so
+    retry/backoff runs instantly under test.
+    """
+
+    def __init__(self, plan: FaultPlan | None = None):
+        self.plan = plan or FaultPlan()
+        self.real = io.IOBackend()
+        self.log: list[tuple[str, str]] = []
+        self.counts: dict[str, int] = {op: 0 for op in OPS}
+        #: fd -> path, so faults on write/fsync/close know their file.
+        self._paths: dict[int, str] = {}
+        self.slept: float = 0.0
+
+    @property
+    def total_ops(self) -> int:
+        return len(self.log)
+
+    # -- the seam ------------------------------------------------------------
+
+    def _arm(self, op: str, target: str) -> FaultSpec | None:
+        index = self.counts[op]
+        self.counts[op] += 1
+        self.log.append((op, target))
+        spec = self.plan.consult(op)
+        if spec is None:
+            return None
+        if spec.kind == KILL:
+            raise InjectedCrash(op, target, index)
+        if spec.kind == ERRNO:
+            raise OSError(spec.errno_code, os.strerror(spec.errno_code), target)
+        return spec  # KILL_AFTER and TORN are handled by the caller
+
+    @staticmethod
+    def _finish(spec: FaultSpec | None, op: str, target: str) -> None:
+        if spec is not None:  # KILL_AFTER (and TORN ops with no tear step)
+            raise InjectedCrash(op, target, spec.index)
+
+    def open(self, path: str, flags: int, mode: int = 0o644) -> int:
+        spec = self._arm("open", path)
+        fd = self.real.open(path, flags, mode)
+        self._paths[fd] = path
+        self._finish(spec, "open", path)
+        return fd
+
+    def write(self, fd: int, data) -> int:
+        target = self._paths.get(fd, f"fd{fd}")
+        spec = self._arm("write", target)
+        if spec is not None and spec.kind == TORN:
+            # Tear the write: half the bytes land, then the "process" dies.
+            half = bytes(data)[: max(1, len(data) // 2)]
+            self.real.write(fd, half)
+            raise InjectedCrash("write", target, spec.index)
+        written = self.real.write(fd, data)
+        self._finish(spec, "write", target)
+        return written
+
+    def fsync(self, fd: int) -> None:
+        target = self._paths.get(fd, f"fd{fd}")
+        spec = self._arm("fsync", target)
+        self.real.fsync(fd)
+        self._finish(spec, "fsync", target)
+
+    def close(self, fd: int) -> None:
+        target = self._paths.pop(fd, f"fd{fd}")
+        spec = self._arm("close", target)
+        self.real.close(fd)
+        self._finish(spec, "close", target)
+
+    def replace(self, src: str, dst: str) -> None:
+        spec = self._arm("replace", dst)
+        if spec is not None and spec.kind == TORN:
+            # A non-atomic "rename" torn mid-copy: the destination ends
+            # up with a truncated prefix of the source, the source stays.
+            blob = Path(src).read_bytes()
+            Path(dst).write_bytes(blob[: len(blob) // 2])
+            raise InjectedCrash("replace", dst, spec.index)
+        self.real.replace(src, dst)
+        self._finish(spec, "replace", dst)
+
+    def unlink(self, path: str) -> None:
+        spec = self._arm("unlink", path)
+        self.real.unlink(path)
+        self._finish(spec, "unlink", path)
+
+    def sleep(self, seconds: float) -> None:
+        self.slept += seconds  # recorded, never actually slept
+
+
+def inject_faults(plan: FaultPlan):
+    """Install a :class:`FaultBackend` for a ``with`` block.
+
+    Returns the context manager from :func:`repro.persist.io.use_backend`,
+    yielding the backend so tests can inspect its log afterwards::
+
+        with inject_faults(FaultPlan.kill_at(3, "write")) as backend:
+            ...
+    """
+    return io.use_backend(FaultBackend(plan))
+
+
+def count_io_ops(scenario) -> FaultBackend:
+    """Run ``scenario()`` fault-free, returning the op-counting backend.
+
+    The backend's ``log`` enumerates every mutating IO call the
+    scenario performs — the complete crash schedule a matrix test then
+    replays one kill at a time.
+    """
+    backend = FaultBackend(FaultPlan())
+    with io.use_backend(backend):
+        scenario()
+    return backend

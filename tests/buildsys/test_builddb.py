@@ -2,7 +2,13 @@
 
 import json
 
-from repro.buildsys.builddb import DB_SCHEMA_VERSION, BuildDatabase
+import pytest
+
+from repro.buildsys.builddb import (
+    DB_SCHEMA_VERSION,
+    BuildDatabase,
+    CorruptDatabaseError,
+)
 from repro.buildsys.deps import DependencySnapshot, content_digest
 from repro.core.state import CompilerState
 
@@ -91,10 +97,11 @@ class TestRoundTrip:
         db = BuildDatabase.load(tmp_path / "nope")
         assert db.units == {} and db.live_state is None
 
-    def test_corrupt_file_loads_empty(self, tmp_path):
+    def test_corrupt_file_raises_typed_error(self, tmp_path):
         path = tmp_path / "db"
         path.write_text("{not json")
-        assert BuildDatabase.load(path).units == {}
+        with pytest.raises(CorruptDatabaseError):
+            BuildDatabase.load(path)
 
     def test_schema_mismatch_loads_empty(self, tmp_path):
         payload = json.loads(sample_db().to_json())
@@ -102,6 +109,85 @@ class TestRoundTrip:
         path = tmp_path / "db"
         path.write_text(json.dumps(payload))
         assert BuildDatabase.load(path).units == {}
+
+class TestCorruptionContract:
+    """Corrupt DB files raise the typed error — never ``EOFError`` or
+    a bare parse exception — and ``load_or_empty`` recovers cleanly."""
+
+    def test_zero_byte_file_raises_typed_error(self, tmp_path):
+        # Regression: an interrupted first save used to surface as a
+        # bare parse error; it must be CorruptDatabaseError instead.
+        path = tmp_path / "db"
+        path.write_bytes(b"")
+        with pytest.raises(CorruptDatabaseError) as excinfo:
+            BuildDatabase.load(path)
+        assert "empty" in str(excinfo.value)
+
+    def test_truncated_file_raises_typed_error(self, tmp_path):
+        path = tmp_path / "db"
+        sample_db().save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CorruptDatabaseError):
+            BuildDatabase.load(path)
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        path = tmp_path / "db"
+        sample_db().save(path)
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF  # flip a payload byte; the frame header survives
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptDatabaseError) as excinfo:
+            BuildDatabase.load(path)
+        assert "checksum" in str(excinfo.value)
+
+    def test_non_object_json_raises_typed_error(self, tmp_path):
+        path = tmp_path / "db"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CorruptDatabaseError):
+            BuildDatabase.load(path)
+
+    def test_corruption_never_raises_untyped(self, tmp_path):
+        # Whatever garbage is on disk, load either succeeds or raises
+        # exactly the typed error the CLI knows how to recover from.
+        for i, garbage in enumerate(
+            [b"", b"\x00" * 40, b"{", b'{"schema": 2, "units": 3}',
+             b'{"schema": 2}', b"%repro-artifact v1 nonsense",
+             b"%repro-artifact v1 sha256=00 len=9999\n{}"]
+        ):
+            path = tmp_path / f"db{i}"
+            path.write_bytes(garbage)
+            try:
+                BuildDatabase.load(path)
+            except CorruptDatabaseError:
+                pass
+
+    def test_load_or_empty_recovers_with_diagnosis(self, tmp_path):
+        path = tmp_path / "db"
+        path.write_bytes(b"")
+        db, err = BuildDatabase.load_or_empty(path)
+        assert db.units == {} and db.live_state is None
+        assert isinstance(err, CorruptDatabaseError)
+
+        sample_db().save(path)
+        db, err = BuildDatabase.load_or_empty(path)
+        assert err is None and "main.mc" in db.units
+
+    def test_save_is_checksummed_frame(self, tmp_path):
+        path = tmp_path / "db"
+        size = sample_db().save(path)
+        blob = path.read_bytes()
+        assert len(blob) == size
+        assert blob.startswith(b"%repro-artifact ")
+
+    def test_legacy_unframed_db_still_loads(self, tmp_path):
+        # Files written before the checksummed-frame upgrade are plain
+        # JSON; they load (unverified) rather than being invalidated.
+        db = sample_db()
+        path = tmp_path / "db"
+        path.write_text(db.to_json())
+        loaded = BuildDatabase.load(path)
+        assert loaded.units.keys() == db.units.keys()
 
     def test_bad_embedded_state_keeps_units(self, tmp_path):
         # A compiler-state schema bump must not blow away the object cache.

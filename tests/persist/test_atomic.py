@@ -1,0 +1,156 @@
+"""The atomic-write protocol: framing, durability, retry, crash windows."""
+
+import errno
+
+import pytest
+
+from repro.persist import (
+    CorruptArtifactError,
+    RetryPolicy,
+    atomic_write,
+    frame,
+    read_artifact,
+    unframe,
+)
+from repro.testing import FaultPlan, InjectedCrash, count_io_ops, inject_faults
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = b'{"hello": "world"}'
+        assert unframe(frame(payload)) == payload
+
+    def test_empty_payload_round_trips(self):
+        assert unframe(frame(b"")) == b""
+
+    def test_legacy_unframed_blob_passes_through(self):
+        blob = b'{"schema": 1}'
+        assert unframe(blob) == blob
+
+    def test_truncation_detected(self):
+        blob = frame(b"x" * 100)
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            unframe(blob[:-10])
+        assert "truncated" in str(excinfo.value)
+
+    def test_bitflip_detected(self):
+        blob = bytearray(frame(b"x" * 100))
+        blob[-1] ^= 0x01
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            unframe(bytes(blob))
+        assert "checksum" in str(excinfo.value)
+
+    def test_malformed_header_detected(self):
+        with pytest.raises(CorruptArtifactError):
+            unframe(b"%repro-artifact v1 garbage\npayload")
+        with pytest.raises(CorruptArtifactError):
+            unframe(b"%repro-artifact v1 sha256=zz len=x\npayload")
+        with pytest.raises(CorruptArtifactError):
+            unframe(b"%repro-artifact with no newline at all")
+
+
+class TestAtomicWrite:
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "artifact"
+        size = atomic_write(path, b"payload bytes")
+        assert path.stat().st_size == size
+        assert read_artifact(path) == b"payload bytes"
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "artifact"
+        atomic_write(path, b"old")
+        atomic_write(path, b"new")
+        assert read_artifact(path) == b"new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        atomic_write(tmp_path / "artifact", b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact"]
+
+    def test_unchecksummed_output_is_verbatim(self, tmp_path):
+        path = tmp_path / "report.json"
+        atomic_write(path, b'{"a": 1}', checksum=False)
+        assert path.read_bytes() == b'{"a": 1}'
+
+    def test_durable_false_skips_fsync(self, tmp_path):
+        backend = count_io_ops(
+            lambda: atomic_write(tmp_path / "a", b"x", durable=False)
+        )
+        assert backend.counts["fsync"] == 0
+        durable = count_io_ops(lambda: atomic_write(tmp_path / "b", b"x"))
+        assert durable.counts["fsync"] >= 1
+
+
+class TestRetry:
+    def test_transient_errors_retried_with_backoff(self, tmp_path):
+        path = tmp_path / "artifact"
+        plan = FaultPlan.errno_at(0, code=errno.EAGAIN, op="write", count=2)
+        with inject_faults(plan) as backend:
+            atomic_write(path, b"payload")
+        assert read_artifact(path) == b"payload"
+        assert backend.plan.fired == 2
+        assert backend.slept > 0  # backoff between attempts
+
+    def test_eio_is_transient(self, tmp_path):
+        path = tmp_path / "artifact"
+        with inject_faults(FaultPlan.errno_at(0, code=errno.EIO, op="fsync")):
+            atomic_write(path, b"payload")
+        assert read_artifact(path) == b"payload"
+
+    def test_bounded_attempts_then_raise(self, tmp_path):
+        path = tmp_path / "artifact"
+        plan = FaultPlan.errno_at(0, code=errno.EAGAIN, op="write", count=99)
+        with inject_faults(plan) as backend:
+            with pytest.raises(OSError):
+                atomic_write(path, b"payload", retry=RetryPolicy(attempts=3))
+        assert backend.counts["write"] == 3  # exactly `attempts` tries
+        assert not path.exists()
+
+    def test_enospc_not_retried(self, tmp_path):
+        path = tmp_path / "artifact"
+        plan = FaultPlan.errno_at(0, code=errno.ENOSPC, op="write", count=99)
+        with inject_faults(plan) as backend:
+            with pytest.raises(OSError) as excinfo:
+                atomic_write(path, b"payload")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert backend.counts["write"] == 1  # no retry on a full disk
+        assert not path.exists()  # temp file cleaned up
+
+    def test_retry_policy_backoff_grows(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.002, factor=4.0)
+        delays = [policy.delay(i) for i in range(3)]
+        assert delays == sorted(delays) and delays[0] < delays[-1]
+
+
+class TestCrashWindows:
+    """A kill at *any* IO step leaves the old artifact fully readable."""
+
+    def test_kill_sweep_preserves_previous_version(self, tmp_path):
+        path = tmp_path / "artifact"
+        atomic_write(path, b"previous version")
+        total = count_io_ops(lambda: atomic_write(path, b"next version")).total_ops
+        assert total >= 5  # open/write/fsync/close/replace at minimum
+
+        for index in range(total):
+            atomic_write(path, b"previous version")
+            with inject_faults(FaultPlan.kill_at(index)):
+                with pytest.raises(InjectedCrash):
+                    atomic_write(path, b"next version")
+            assert read_artifact(path) in (b"previous version", b"next version")
+
+    def test_torn_rename_detected_on_read(self, tmp_path):
+        path = tmp_path / "artifact"
+        atomic_write(path, b"previous version")
+        with inject_faults(FaultPlan.torn_at(0, "replace")):
+            with pytest.raises(InjectedCrash):
+                atomic_write(path, b"the next version, long enough to tear")
+        with pytest.raises(CorruptArtifactError):
+            read_artifact(path)
+
+    def test_torn_write_never_reaches_destination(self, tmp_path):
+        path = tmp_path / "artifact"
+        atomic_write(path, b"previous version")
+        with inject_faults(FaultPlan.torn_at(0, "write")):
+            with pytest.raises(InjectedCrash):
+                atomic_write(path, b"next version")
+        # The tear hit the temp file; the destination never changed.
+        assert read_artifact(path) == b"previous version"

@@ -1,0 +1,188 @@
+"""BuildLock: serialization, timeout diagnostics, stale-lock recovery.
+
+The two-process tests hold the lock from a real child process (flock
+is per open-file-description, but a separate process is the honest
+scenario) and drive the real ``reprobuild`` entry point against it.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.persist import BuildLock, LockTimeoutError, default_lock_path
+from repro.workload.generator import generate_project
+from repro.workload.spec import make_preset
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Child that grabs the lock, announces it, and holds for a while.
+HOLDER_SCRIPT = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.persist import BuildLock
+with BuildLock({path!r}, timeout=5.0):
+    print("LOCKED", flush=True)
+    time.sleep({hold})
+print("RELEASED", flush=True)
+"""
+
+
+def hold_lock_in_child(path, hold=3.0):
+    """Spawn a child holding ``path``'s lock; returns the Popen after
+    the child confirms acquisition."""
+    child = subprocess.Popen(
+        [sys.executable, "-c", HOLDER_SCRIPT.format(src=SRC, path=str(path), hold=hold)],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    assert child.stdout.readline().strip() == "LOCKED"
+    return child
+
+
+class TestBuildLock:
+    def test_acquire_release_round_trip(self, tmp_path):
+        lock = BuildLock(tmp_path / "x.lock", timeout=1.0)
+        with lock:
+            assert lock.locked
+            assert lock.holder_pid() == os.getpid()
+        assert not lock.locked
+
+    def test_lock_file_survives_release(self, tmp_path):
+        # Unlinking a flock file races with waiters; it must stay.
+        path = tmp_path / "x.lock"
+        with BuildLock(path, timeout=1.0):
+            pass
+        assert path.exists()
+
+    def test_reacquire_after_release(self, tmp_path):
+        lock = BuildLock(tmp_path / "x.lock", timeout=1.0)
+        with lock:
+            pass
+        with lock:
+            assert lock.locked
+
+    def test_contended_lock_times_out_with_diagnostic(self, tmp_path):
+        path = tmp_path / "x.lock"
+        child = hold_lock_in_child(path, hold=5.0)
+        try:
+            start = time.monotonic()
+            with pytest.raises(LockTimeoutError) as excinfo:
+                BuildLock(path, timeout=0.3, poll_interval=0.02).acquire()
+            waited = time.monotonic() - start
+            assert waited < 3.0
+            message = str(excinfo.value)
+            assert "is locked" in message
+            assert f"held by pid {child.pid}" in message
+        finally:
+            child.kill()
+            child.wait()
+
+    def test_waiter_gets_lock_when_holder_finishes(self, tmp_path):
+        path = tmp_path / "x.lock"
+        child = hold_lock_in_child(path, hold=0.4)
+        try:
+            lock = BuildLock(path, timeout=10.0, poll_interval=0.02).acquire()
+            try:
+                assert lock.locked  # blocked ~0.4s, then proceeded
+            finally:
+                lock.release()
+        finally:
+            child.wait(timeout=10)
+
+    def test_stale_lock_from_dead_pid_does_not_block(self, tmp_path):
+        # A build killed mid-run leaves the lock file with its PID but
+        # no flock (the kernel released it); the next build walks in.
+        path = tmp_path / "x.lock"
+        corpse = subprocess.Popen([sys.executable, "-c", "pass"])
+        corpse.wait()
+        path.write_text(f"{corpse.pid}\n")
+        lock = BuildLock(path, timeout=0.5)
+        with lock:
+            assert lock.locked
+            assert lock.holder_pid() == os.getpid()
+
+    def test_stale_holder_described_as_dead(self, tmp_path):
+        path = tmp_path / "x.lock"
+        corpse = subprocess.Popen([sys.executable, "-c", "pass"])
+        corpse.wait()
+        path.write_text(f"{corpse.pid}\n")
+        description = BuildLock(path).holder_description()
+        # PID reuse could resurrect it, in which case "held by" is right.
+        assert ("stale lock file from dead pid" in description
+                or "held by pid" in description)
+
+
+class TestRealBuildLocking:
+    """The satellite: a second ``reprobuild`` on a locked directory."""
+
+    @pytest.fixture()
+    def project_dir(self, tmp_path):
+        generate_project(make_preset("tiny", seed=1)).write_to(tmp_path / "proj")
+        return tmp_path
+
+    def test_second_build_fails_clearly_when_locked(self, project_dir, capsys):
+        from repro.cli import reprobuild_main
+
+        db = project_dir / "build.reprodb"
+        child = hold_lock_in_child(default_lock_path(db), hold=5.0)
+        try:
+            rc = reprobuild_main([
+                str(project_dir / "proj"), "--db", str(db),
+                "--lock-timeout", "0.3", "--no-history",
+            ])
+            assert rc == 3
+            err = capsys.readouterr().err
+            assert "locked" in err
+            assert "--lock-timeout" in err  # tells the user what to do
+        finally:
+            child.kill()
+            child.wait()
+
+    def test_second_build_blocks_until_first_finishes(self, project_dir):
+        from repro.cli import reprobuild_main
+
+        db = project_dir / "build.reprodb"
+        child = hold_lock_in_child(default_lock_path(db), hold=0.6)
+        try:
+            start = time.monotonic()
+            rc = reprobuild_main([
+                str(project_dir / "proj"), "--db", str(db),
+                "--lock-timeout", "15", "--no-history",
+            ])
+            assert rc == 0
+            assert time.monotonic() - start >= 0.3  # actually waited
+            assert db.is_file()
+        finally:
+            child.wait(timeout=10)
+
+    def test_stale_lock_recovery_for_real_build(self, project_dir, capsys):
+        from repro.cli import reprobuild_main
+
+        db = project_dir / "build.reprodb"
+        corpse = subprocess.Popen([sys.executable, "-c", "pass"])
+        corpse.wait()
+        default_lock_path(db).write_text(f"{corpse.pid}\n")
+        rc = reprobuild_main([
+            str(project_dir / "proj"), "--db", str(db),
+            "--lock-timeout", "1", "--no-history",
+        ])
+        assert rc == 0 and db.is_file()
+
+    def test_no_lock_flag_skips_locking(self, project_dir):
+        from repro.cli import reprobuild_main
+
+        db = project_dir / "build.reprodb"
+        child = hold_lock_in_child(default_lock_path(db), hold=2.0)
+        try:
+            rc = reprobuild_main([
+                str(project_dir / "proj"), "--db", str(db),
+                "--no-lock", "--no-history",
+            ])
+            assert rc == 0
+        finally:
+            child.kill()
+            child.wait()

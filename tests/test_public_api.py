@@ -40,6 +40,14 @@ SUBMODULES = [
     "repro.obs.trace",
     "repro.passes",
     "repro.passmanager",
+    "repro.persist",
+    "repro.persist.atomic",
+    "repro.persist.errors",
+    "repro.persist.io",
+    "repro.persist.lock",
+    "repro.testing",
+    "repro.testing.differential",
+    "repro.testing.faults",
     "repro.vm",
     "repro.workload",
 ]

@@ -1,0 +1,103 @@
+"""The fault-injection harness itself: plans, triggers, crash semantics."""
+
+import errno
+import os
+
+import pytest
+
+from repro.persist import atomic_write, io
+from repro.testing import (
+    ERRNO,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    count_io_ops,
+    inject_faults,
+)
+
+
+class TestFaultPlan:
+    def test_kill_fires_on_exact_index(self):
+        spec = FaultSpec("kill", "write", index=2)
+        plan = FaultPlan([spec])
+        assert plan.consult("write") is None      # 0
+        assert plan.consult("fsync") is None      # not a write
+        assert plan.consult("write") is None      # 1
+        assert plan.consult("write") is spec      # 2 fires
+        assert plan.consult("write") is None      # 3: one-shot
+
+    def test_errno_fires_for_count_consecutive_calls(self):
+        plan = FaultPlan([FaultSpec(ERRNO, "write", index=1, count=2)])
+        fired = [plan.consult("write") is not None for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+
+    def test_wildcard_op_counts_all_mutating_calls(self):
+        plan = FaultPlan([FaultSpec("kill", None, index=3)])
+        ops = ["open", "write", "fsync", "close"]
+        assert [plan.consult(op) is not None for op in ops] == [
+            False, False, False, True
+        ]
+
+    def test_seeded_plans_are_reproducible(self):
+        a = FaultPlan.seeded(42).specs[0]
+        b = FaultPlan.seeded(42).specs[0]
+        assert (a.kind, a.op, a.index, a.errno_code, a.count) == (
+            b.kind, b.op, b.index, b.errno_code, b.count
+        )
+        c = FaultPlan.seeded(43).specs[0]
+        assert (a.kind, a.op, a.index) != (c.kind, c.op, c.index) or a.errno_code != c.errno_code
+
+
+class TestFaultBackend:
+    def test_count_io_ops_enumerates_the_schedule(self, tmp_path):
+        backend = count_io_ops(lambda: atomic_write(tmp_path / "f", b"data"))
+        ops = [op for op, _ in backend.log]
+        assert ops.count("replace") == 1
+        assert ops.count("write") >= 1
+        assert backend.total_ops == len(backend.log) >= 5
+        assert (tmp_path / "f").is_file()  # fault-free run really ran
+
+    def test_injected_errno_is_a_real_oserror(self, tmp_path):
+        with inject_faults(FaultPlan.errno_at(0, code=errno.ENOSPC, op="open")):
+            with pytest.raises(OSError) as excinfo:
+                io.backend().open(str(tmp_path / "f"), os.O_WRONLY | os.O_CREAT)
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_injected_crash_skips_except_exception(self, tmp_path):
+        # A simulated kill must not be swallowed by broad error handling
+        # in the code under test, exactly like a real SIGKILL.
+        def swallowing_writer():
+            try:
+                atomic_write(tmp_path / "f", b"data")
+            except Exception:  # noqa: BLE001 - the point of the test
+                return "swallowed"
+            return "wrote"
+
+        with inject_faults(FaultPlan.kill_at(0, "write")):
+            with pytest.raises(InjectedCrash):
+                swallowing_writer()
+
+    def test_kill_after_performs_the_operation_first(self, tmp_path):
+        path = tmp_path / "f"
+        with inject_faults(FaultPlan.kill_after(0, "replace")):
+            with pytest.raises(InjectedCrash):
+                atomic_write(path, b"data")
+        # The rename happened before the crash: new content is visible.
+        from repro.persist import read_artifact
+
+        assert read_artifact(path) == b"data"
+
+    def test_backend_restored_after_block(self, tmp_path):
+        original = io.backend()
+        with inject_faults(FaultPlan()):
+            assert io.backend() is not original
+        assert io.backend() is original
+
+    def test_sleep_is_recorded_not_slept(self):
+        import time
+
+        with inject_faults(FaultPlan()) as backend:
+            start = time.perf_counter()
+            io.backend().sleep(30.0)
+            assert time.perf_counter() - start < 1.0
+        assert backend.slept == 30.0
